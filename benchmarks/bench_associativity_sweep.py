@@ -1,0 +1,37 @@
+"""Experiment txt2: Section 3.2's associativity study for bzip2 and mcf.
+
+The paper: bzip2's >50%-of-stores SFC replay rate and mcf's >16%-of-loads
+MDT replay rate are set-conflict pathologies; raising associativity to 16
+(same number of sets) takes both to ~0% and recovers 9.0% / 6.5% IPC.
+
+Shape to reproduce: replay rates collapse monotonically with
+associativity and IPC improves.
+"""
+
+from repro.harness.figures import associativity_sweep
+
+from benchmarks.conftest import publish
+
+
+def test_associativity_fixes_bzip2_and_mcf(benchmark, runner, scale):
+    figure = benchmark.pedantic(
+        associativity_sweep,
+        kwargs={"scale": scale, "runner": runner, "assocs": (2, 4, 8, 16)},
+        rounds=1, iterations=1)
+    publish("associativity_sweep", figure.format())
+
+    # bzip2: SFC store replays vanish at 16-way, IPC improves.
+    assert figure.value("bzip2", "st-replay@2") > 1.0
+    assert figure.value("bzip2", "st-replay@16") < 0.02
+    assert figure.value("bzip2", "IPC@16") > \
+        figure.value("bzip2", "IPC@2") * 1.05
+    # mcf: MDT load replays vanish at 16-way, IPC improves.
+    assert figure.value("mcf", "ld-replay@2") > 0.16
+    assert figure.value("mcf", "ld-replay@16") < 0.02
+    assert figure.value("mcf", "IPC@16") > \
+        figure.value("mcf", "IPC@2") * 1.05
+    # Monotone improvement along the sweep.
+    for name, key in (("bzip2", "st-replay"), ("mcf", "ld-replay")):
+        rates = [figure.value(name, f"{key}@{assoc}")
+                 for assoc in (2, 4, 8, 16)]
+        assert rates[0] >= rates[-1]

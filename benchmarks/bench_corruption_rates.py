@@ -1,0 +1,33 @@
+"""Experiment txt3: Section 3.2's SFC corruption-rate analysis.
+
+The paper: on the aggressive core, vpr_route, ammp, and equake replay
+roughly 20% of their loads because of SFC corruption marks left by
+partial flushes; most other benchmarks stay at or below ~6%.
+
+Shape to reproduce: the corruption-prone trio sits clearly above the
+suite's typical corruption replay rate.
+"""
+
+from repro.harness.figures import corruption_rates
+
+from benchmarks.conftest import publish
+
+CORRUPTION_PRONE = ("vpr_route", "ammp", "equake")
+
+
+def test_corruption_replay_rates(benchmark, runner, scale):
+    figure = benchmark.pedantic(
+        corruption_rates, kwargs={"scale": scale, "runner": runner},
+        rounds=1, iterations=1)
+    publish("corruption_rates", figure.format())
+
+    rates = {name: values["corrupt-replays/load"]
+             for name, values in figure.rows}
+    prone = [rates[name] for name in CORRUPTION_PRONE]
+    others = [rate for name, rate in rates.items()
+              if name not in CORRUPTION_PRONE]
+
+    # The corruption mechanism fires on the designed benchmarks...
+    assert max(prone) > 0.03
+    # ...and the trio's average exceeds the rest of the suite's.
+    assert sum(prone) / len(prone) > sum(others) / len(others)

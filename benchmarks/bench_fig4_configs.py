@@ -1,0 +1,51 @@
+"""Experiment fig4: the paper's Figure 4 simulator-parameter table.
+
+Prints both configuration columns and asserts that the preset
+constructors implement exactly those parameters (so every other bench
+runs the machines the paper describes).
+"""
+
+from repro.harness import (
+    FIGURE4_PARAMETERS,
+    aggressive_lsq_config,
+    aggressive_sfc_mdt_config,
+    baseline_lsq_config,
+    baseline_sfc_mdt_config,
+)
+
+from benchmarks.conftest import publish
+
+
+def _format_table() -> str:
+    width = max(len(row[0]) for row in FIGURE4_PARAMETERS)
+    lines = ["Figure 4: simulator parameters (baseline | aggressive)",
+             "-" * 60]
+    for name, baseline, aggressive in FIGURE4_PARAMETERS:
+        lines.append(f"{name:<{width}}  {baseline}")
+        if aggressive != "(same)":
+            lines.append(f"{'':<{width}}  vs {aggressive}")
+    return "\n".join(lines)
+
+
+def test_fig4_configuration_table(benchmark):
+    table = benchmark.pedantic(_format_table, rounds=1, iterations=1)
+    publish("fig4_configs", table)
+
+    baseline = baseline_sfc_mdt_config()
+    aggressive = aggressive_sfc_mdt_config()
+    # Core parameters (Figure 4, left and right columns).
+    assert (baseline.width, aggressive.width) == (4, 8)
+    assert (baseline.rob_size, aggressive.rob_size) == (128, 1024)
+    assert (baseline.sched_size, aggressive.sched_size) == (128, 1024)
+    assert (baseline.num_fus, aggressive.num_fus) == (4, 8)
+    assert baseline.mispredict_penalty == \
+        aggressive.mispredict_penalty == 8
+    # Memory-structure geometries.
+    assert (baseline.mdt.num_sets, aggressive.mdt.num_sets) == (4096, 8192)
+    assert (baseline.sfc.num_sets, aggressive.sfc.num_sets) == (128, 512)
+    assert baseline.mdt.assoc == baseline.sfc.assoc == 2
+    # LSQ comparison points.
+    lsq_base = baseline_lsq_config()
+    lsq_aggr = aggressive_lsq_config()
+    assert (lsq_base.lsq.lq_size, lsq_base.lsq.sq_size) == (48, 32)
+    assert (lsq_aggr.lsq.lq_size, lsq_aggr.lsq.sq_size) == (120, 80)

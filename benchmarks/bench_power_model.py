@@ -1,0 +1,38 @@
+"""Experiment pow1: dynamic energy of forwarding + disambiguation.
+
+The paper's recurring claim (Sections 1, 4, 5): the LSQ's associative,
+age-prioritized searches burn energy proportional to queue occupancy,
+while the SFC/MDT perform constant-cost indexed accesses -- and the gap
+grows with LSQ capacity.
+
+Shape to reproduce: LSQ/SFC energy ratio > 1 for memory-intensive
+workloads on the deep-window core, non-decreasing in LSQ size.
+
+Caveat (documented in EXPERIMENTS.md): replay-pathological workloads
+(mcf's MDT conflicts) re-access the MDT on every replay, so the SFC/MDT
+can lose the energy comparison exactly where it loses the performance
+comparison; the structural claim is made on well-behaved workloads.
+"""
+
+from repro.harness.figures import power_comparison
+
+from benchmarks.conftest import publish
+
+LSQ_SIZES = ((48, 32), (120, 80), (256, 256))
+
+
+def test_energy_ratio_grows_with_lsq_size(benchmark, runner, scale):
+    figure = benchmark.pedantic(
+        power_comparison,
+        kwargs={"scale": scale, "runner": runner,
+                "lsq_sizes": LSQ_SIZES},
+        rounds=1, iterations=1)
+    publish("power_model", figure.format())
+
+    keys = [f"LSQ{lq}x{sq}/SFC" for lq, sq in LSQ_SIZES]
+    for name, values in figure.rows:
+        # The big-LSQ configuration always costs more energy than the
+        # SFC/MDT for the same workload.
+        assert values[keys[-1]] > 1.0, name
+        # The gap does not shrink as the queues grow.
+        assert values[keys[-1]] >= values[keys[0]] * 0.95, name

@@ -1,0 +1,34 @@
+"""Experiment abl1: Section 2.4's recovery-policy ablations.
+
+The paper proposes (but does not simulate) two aggressive recovery
+optimizations: counted true-dependence recovery (flush from the lone
+conflicting load, Section 2.4.1) and corrupt-marking output recovery
+(poison the SFC word instead of flushing, Section 2.4.2).  This bench
+measures both against the conservative policy the paper models.
+
+Shape to reproduce: the optimized policies never lose meaningfully, and
+the machine stays architecturally exact under all of them (enforced by
+retirement validation).
+"""
+
+from repro.harness.figures import recovery_policies
+
+from benchmarks.conftest import publish
+
+BENCHMARKS = ("gzip", "applu", "vpr_route", "ammp")
+
+
+def test_recovery_policy_ablation(benchmark, runner, scale):
+    figure = benchmark.pedantic(
+        recovery_policies,
+        kwargs={"scale": scale, "runner": runner,
+                "benchmarks": BENCHMARKS},
+        rounds=1, iterations=1)
+    publish("recovery_policies", figure.format())
+
+    for name, values in figure.rows:
+        conservative = values["conservative"]
+        # Both optimizations stay within a few percent of conservative
+        # recovery (they can only reduce flush work).
+        assert values["counted"] > conservative * 0.9, name
+        assert values["corrupt"] > conservative * 0.9, name

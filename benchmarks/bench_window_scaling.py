@@ -1,0 +1,34 @@
+"""Experiment scal1: the scalability claim (Sections 1 and 5).
+
+"Because the CAM-free MDT and SFC scale readily, they are ideally suited
+for checkpointed processors with large instruction windows."  This bench
+sweeps the window (ROB/scheduler) size from 32 to 1024 on a well-behaved
+workload and checks that the SFC/MDT's IPC tracks a size-matched LSQ's
+across the whole range.
+"""
+
+from repro.harness.figures import window_scaling
+
+from benchmarks.conftest import publish
+
+WINDOWS = (32, 64, 128, 256, 512, 1024)
+
+
+def test_sfc_mdt_tracks_lsq_across_window_sizes(benchmark, runner, scale):
+    figure = benchmark.pedantic(
+        window_scaling,
+        kwargs={"scale": scale, "runner": runner, "benchmark": "swim",
+                "windows": WINDOWS},
+        rounds=1, iterations=1)
+    publish("window_scaling", figure.format())
+
+    ratios = [values["ratio"] for _, values in figure.rows]
+    # The SFC/MDT stays close to the size-matched LSQ at every window.
+    assert min(ratios) > 0.80
+    # Deeper windows help both machines (IPC grows with the window).
+    first_lsq = figure.rows[0][1]["LSQ-IPC"]
+    last_lsq = figure.rows[-1][1]["LSQ-IPC"]
+    first_sfc = figure.rows[0][1]["SFC/MDT-IPC"]
+    last_sfc = figure.rows[-1][1]["SFC/MDT-IPC"]
+    assert last_lsq > first_lsq
+    assert last_sfc > first_sfc

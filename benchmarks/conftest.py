@@ -1,0 +1,41 @@
+"""Shared infrastructure for the reproduction benches.
+
+Each bench regenerates one table/figure of the paper (see DESIGN.md's
+experiment index), prints it, saves it under ``benchmarks/results/``, and
+asserts its qualitative shape.  ``REPRO_BENCH_SCALE`` controls the dynamic
+instruction budget per benchmark run (default 8000 -- small enough for a
+pure-Python cycle-level simulator, large enough for stable shapes; the
+numbers in EXPERIMENTS.md were produced at 20000).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DEFAULT_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "8000"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session")
+def runner(scale) -> ExperimentRunner:
+    """One shared runner per session: golden traces are built once."""
+    return ExperimentRunner(scale=scale)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a figure/table and archive it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

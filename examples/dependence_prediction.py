@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Producer-set dependence prediction in action (paper Section 2.1).
+
+Runs a kernel whose stores complete late (multiply-fed data) so younger
+loads to the same addresses initially violate true dependences.  With the
+producer-set predictor learning from each violation, the violation stream
+dries up after the first few occurrences -- and the enforcement mode
+(ENF vs NOT-ENF) decides whether anti/output violations are also learned.
+
+Run:  python examples/dependence_prediction.py
+"""
+
+from repro import Assembler, Processor, run_program
+from repro.harness import baseline_sfc_mdt_config
+from repro.harness.configs import ENF, NOT_ENF
+
+
+def build_program(iterations=400):
+    a = Assembler()
+    a.li("r1", 0x1000)
+    a.li("r2", 0)
+    a.li("r3", iterations)
+    a.li("r7", 3)
+    a.label("loop")
+    a.andi("r8", "r2", 0x78)     # 16 recurring slots
+    a.add("r8", "r8", "r1")
+    a.mul("r4", "r2", "r7")      # slow store data...
+    a.mul("r4", "r4", "r7")
+    a.sd("r4", "r8")             # ...so this store completes late
+    a.sd("r2", "r8")             # younger same-address store (output dep)
+    a.ld("r5", "r8")             # younger same-address load (true dep)
+    a.add("r6", "r6", "r5")
+    a.addi("r2", "r2", 1)
+    a.bne("r2", "r3", "loop")
+    a.halt()
+    return a.build(name="dependence-demo")
+
+
+def main():
+    program = build_program()
+    trace = run_program(program)
+    print("Kernel: slow store -> fast store -> load, all to one of 16")
+    print("recurring addresses; every memory dependence kind is at risk.\n")
+
+    for mode in (ENF, NOT_ENF):
+        config = baseline_sfc_mdt_config(mode=mode, name=mode)
+        result = Processor(program, config, trace=trace).run()
+        c = result.counters
+        print(f"=== predictor mode {mode} ===")
+        print(f"  IPC                  {result.ipc:.3f}")
+        print(f"  true violations      "
+              f"{c.get('violation_flushes_true'):.0f}")
+        print(f"  anti violations      "
+              f"{c.get('violation_flushes_anti'):.0f}")
+        print(f"  output violations    "
+              f"{c.get('violation_flushes_output'):.0f}")
+        print(f"  predictor trainings  {c.get('pred_trainings'):.0f}")
+        print(f"  enforced (consumed)  {c.get('pred_consumes'):.0f}")
+        print()
+
+    print("ENF learns anti and output dependences as well as true ones,")
+    print("so its violation counts stay near the training minimum; the")
+    print("NOT-ENF configuration keeps paying output-violation flushes --")
+    print("Section 3's reason for enforcing all predicted dependences.")
+
+
+if __name__ == "__main__":
+    main()

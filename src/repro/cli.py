@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+
+``list``
+    Show the available benchmarks, configurations, and figures.
+``run BENCHMARK``
+    Simulate one benchmark under one configuration and print a report.
+``compare BENCHMARK``
+    Run one benchmark under several configurations side by side.
+``figure NAME``
+    Regenerate one of the paper's figures/tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .harness import configs as config_presets
+from .harness import figures
+from .harness.experiment import ExperimentRunner
+from .pipeline.config import ProcessorConfig
+from .stats.report import format_report
+from .workloads import ALL_BENCHMARKS
+
+#: Named configuration presets exposed on the command line.
+CONFIGS: Dict[str, Callable[[], ProcessorConfig]] = {
+    "baseline-lsq": config_presets.baseline_lsq_config,
+    "baseline-sfc-mdt": config_presets.baseline_sfc_mdt_config,
+    "aggressive-lsq": config_presets.aggressive_lsq_config,
+    "aggressive-sfc-mdt": config_presets.aggressive_sfc_mdt_config,
+    "aggressive-load-replay": config_presets.aggressive_load_replay_config,
+}
+
+#: Figure/table generators exposed on the command line.
+FIGURES: Dict[str, Callable[..., "figures.FigureResult"]] = {
+    "fig5": figures.figure5,
+    "fig6": figures.figure6,
+    "enf-ablation": figures.enf_ablation,
+    "associativity": figures.associativity_sweep,
+    "corruption": figures.corruption_rates,
+    "granularity": figures.granularity_sweep,
+    "power": figures.power_comparison,
+    "window-scaling": figures.window_scaling,
+    "recovery": figures.recovery_policies,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Address-Indexed Memory "
+                    "Disambiguation and Store-to-Load Forwarding' "
+                    "(MICRO 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, configs, and figures")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    run.add_argument("--config", default="baseline-sfc-mdt",
+                     choices=sorted(CONFIGS))
+    run.add_argument("--scale", type=int, default=20_000,
+                     help="dynamic instruction budget (default 20000)")
+
+    compare = sub.add_parser(
+        "compare", help="one benchmark under several configurations")
+    compare.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    compare.add_argument("--configs", nargs="+",
+                         default=["baseline-lsq", "baseline-sfc-mdt"],
+                         choices=sorted(CONFIGS))
+    compare.add_argument("--scale", type=int, default=20_000)
+
+    figure = sub.add_parser("figure",
+                            help="regenerate a paper figure/table")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--scale", type=int, default=8_000,
+                        help="dynamic instruction budget per run "
+                             "(default 8000; the archived results use "
+                             "20000)")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("benchmarks:")
+    for name in ALL_BENCHMARKS:
+        print(f"  {name}")
+    print("\nconfigurations:")
+    for name in sorted(CONFIGS):
+        print(f"  {name}")
+    print("\nfigures:")
+    for name in sorted(FIGURES):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    result = runner.run(args.benchmark, CONFIGS[args.config]())
+    print(format_report(result))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    results = [(name, runner.run(args.benchmark, CONFIGS[name]()))
+               for name in args.configs]
+    width = max(len(name) for name, _ in results)
+    print(f"{args.benchmark} (scale {args.scale})")
+    print(f"{'configuration':<{width}}  {'IPC':>7}  {'cycles':>9}")
+    for name, result in results:
+        print(f"{name:<{width}}  {result.ipc:>7.3f}  "
+              f"{result.cycles:>9d}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    figure = FIGURES[args.name](scale=args.scale)
+    print(figure.format())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The paper's contribution: SFC, MDT, store FIFO, dependence predictors,
+and the LSQ baseline, unified behind the ``MemorySubsystem`` interface."""
+
+from .load_replay import LoadReplaySubsystem
+from .lsq import LoadStoreQueue, LSQConfig
+from .mdt import (
+    MDT_CONFLICT,
+    MDT_OK,
+    AccessResult,
+    MDTConfig,
+    MemoryDisambiguationTable,
+)
+from .predictors import (
+    ENF,
+    LSQ_MODE,
+    NOT_ENF,
+    TOTAL,
+    DependenceTagFile,
+    PredictorConfig,
+    ProducerSetPredictor,
+)
+from .sfc import (
+    CORRUPTION_ENDPOINTS,
+    CORRUPTION_MASK,
+    SFC_CORRUPT,
+    SFC_HIT,
+    SFC_MISS,
+    SFC_PARTIAL,
+    SFCConfig,
+    StoreForwardingCache,
+)
+from .store_fifo import StoreFifo
+from .subsystem import (
+    DONE,
+    OUTPUT_RECOVERY_CORRUPT,
+    OUTPUT_RECOVERY_FLUSH,
+    REPLAY,
+    LSQSubsystem,
+    MemorySubsystem,
+    MemOutcome,
+    SfcMdtSubsystem,
+)
+from .violations import ANTI_DEP, OUTPUT_DEP, TRUE_DEP, Violation
+
+__all__ = [
+    "ANTI_DEP",
+    "CORRUPTION_ENDPOINTS",
+    "CORRUPTION_MASK",
+    "AccessResult",
+    "DONE",
+    "DependenceTagFile",
+    "ENF",
+    "LSQConfig",
+    "LSQSubsystem",
+    "LoadReplaySubsystem",
+    "LSQ_MODE",
+    "LoadStoreQueue",
+    "MDTConfig",
+    "MDT_CONFLICT",
+    "MDT_OK",
+    "MemOutcome",
+    "MemoryDisambiguationTable",
+    "MemorySubsystem",
+    "NOT_ENF",
+    "OUTPUT_DEP",
+    "OUTPUT_RECOVERY_CORRUPT",
+    "OUTPUT_RECOVERY_FLUSH",
+    "PredictorConfig",
+    "ProducerSetPredictor",
+    "REPLAY",
+    "SFCConfig",
+    "SFC_CORRUPT",
+    "SFC_HIT",
+    "SFC_MISS",
+    "SFC_PARTIAL",
+    "SfcMdtSubsystem",
+    "StoreFifo",
+    "StoreForwardingCache",
+    "TOTAL",
+    "TRUE_DEP",
+    "Violation",
+]

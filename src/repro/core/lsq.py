@@ -1,0 +1,243 @@
+"""Idealized load/store queue -- the paper's baseline (Section 3).
+
+The comparison LSQ is deliberately generous: infinite ports, infinite
+search bandwidth, single-cycle bypass, byte-accurate forwarding assembled
+from any number of older in-flight stores, and value-based ordering
+checks so that silent stores are never flagged as violations.  Dependence
+violations recover aggressively by flushing from the *earliest conflicting
+load* (Section 2.4's description of LSQ recovery).
+
+Every load executing searches the store queue associatively
+(age-prioritized, byte-granular) and every store executing searches the
+load queue; the number of entries examined is tracked so the energy model
+can charge CAM-search costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..memory.main_memory import MainMemory
+from ..stats.counters import Counters
+from .violations import TRUE_DEP, Violation
+
+
+class LSQConfig:
+    """Load-queue and store-queue capacities (e.g. 48x32, 120x80)."""
+
+    __slots__ = ("lq_size", "sq_size")
+
+    def __init__(self, lq_size: int = 48, sq_size: int = 32):
+        self.lq_size = lq_size
+        self.sq_size = sq_size
+
+    def __repr__(self) -> str:
+        return f"LSQConfig({self.lq_size}x{self.sq_size})"
+
+
+class _LoadEntry:
+    __slots__ = ("seq", "pc", "addr", "size", "value", "completed")
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.pc = 0
+        self.addr = 0
+        self.size = 0
+        self.value = 0
+        self.completed = False
+
+
+class _StoreEntry:
+    __slots__ = ("seq", "pc", "addr", "size", "data", "completed")
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.pc = 0
+        self.addr = 0
+        self.size = 0
+        self.data = 0
+        self.completed = False
+
+
+class LoadStoreQueue:
+    """The conventional (idealized) LSQ."""
+
+    def __init__(self, config: LSQConfig, memory: MainMemory,
+                 counters: Optional[Counters] = None,
+                 detect_at_execute: bool = True):
+        self.config = config
+        self.memory = memory
+        self.counters = counters if counters is not None else Counters()
+        #: When False, executing stores skip the load-queue violation
+        #: search (used by the value-based retirement-replay scheme,
+        #: which disambiguates at retirement instead).
+        self.detect_at_execute = detect_at_execute
+        self._loads: List[_LoadEntry] = []    # program (sequence) order
+        self._stores: List[_StoreEntry] = []
+        self._load_by_seq: Dict[int, _LoadEntry] = {}
+        self._store_by_seq: Dict[int, _StoreEntry] = {}
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def can_dispatch_load(self) -> bool:
+        return len(self._loads) < self.config.lq_size
+
+    def can_dispatch_store(self) -> bool:
+        return len(self._stores) < self.config.sq_size
+
+    def dispatch_load(self, seq: int, pc: int) -> None:
+        entry = _LoadEntry(seq)
+        entry.pc = pc
+        self._loads.append(entry)
+        self._load_by_seq[seq] = entry
+
+    def dispatch_store(self, seq: int, pc: int) -> None:
+        entry = _StoreEntry(seq)
+        entry.pc = pc
+        self._stores.append(entry)
+        self._store_by_seq[seq] = entry
+
+    # -- execution ------------------------------------------------------------------
+
+    def _forwarded_value(self, seq: int, addr: int,
+                         size: int) -> Tuple[int, bool]:
+        """Assemble a load's bytes from older completed stores + memory.
+
+        Byte-accurate, age-prioritized: for each byte the youngest older
+        store wins; uncovered bytes come from architectural memory.  This
+        is the idealized CAM search whose cost the SFC eliminates.
+        Returns ``(value, fully_forwarded)``.
+        """
+        remaining = (1 << size) - 1          # bit per byte still needed
+        collected = bytearray(self.memory.read_bytes(addr, size))
+        searched = 0
+        for store in reversed(self._stores):
+            if not remaining:
+                break
+            if store.seq >= seq:
+                continue
+            searched += 1
+            if not store.completed:
+                continue
+            overlap_lo = max(addr, store.addr)
+            overlap_hi = min(addr + size, store.addr + store.size)
+            if overlap_lo >= overlap_hi:
+                continue
+            data_bytes = store.data.to_bytes(store.size, "little")
+            for byte_addr in range(overlap_lo, overlap_hi):
+                bit = 1 << (byte_addr - addr)
+                if remaining & bit:
+                    collected[byte_addr - addr] = \
+                        data_bytes[byte_addr - store.addr]
+                    remaining &= ~bit
+        self.counters.incr("lsq_sq_entries_searched", searched)
+        return int.from_bytes(collected, "little"), remaining == 0
+
+    def execute_load(self, seq: int, addr: int, size: int) -> Tuple[int, bool]:
+        """A load executes: associative SQ search + memory fill.
+
+        Returns ``(value, fully_forwarded)``; a fully forwarded load
+        completes with the LSQ's single-cycle bypass latency.
+        """
+        self.counters.incr("lsq_load_searches")
+        entry = self._load_by_seq[seq]
+        entry.addr = addr
+        entry.size = size
+        entry.value, forwarded = self._forwarded_value(seq, addr, size)
+        entry.completed = True
+        if forwarded:
+            self.counters.incr("lsq_full_forwards")
+        return entry.value, forwarded
+
+    def execute_store(self, seq: int, addr: int, size: int,
+                      data: int) -> List[Violation]:
+        """A store executes: record it, then search the LQ for younger
+        completed loads whose value the new store changes.
+
+        The value re-check makes the detection silent-store-aware: if the
+        younger load's bytes are unchanged by this store, no violation is
+        flagged (Section 2.1 / Onder & Gupta's observation).
+        Recovery flushes from the earliest conflicting load.
+        """
+        entry = self._store_by_seq[seq]
+        entry.addr = addr
+        entry.size = size
+        entry.data = data
+        entry.completed = True
+        if not self.detect_at_execute:
+            return []
+        self.counters.incr("lsq_store_searches")
+
+        earliest: Optional[_LoadEntry] = None
+        searched = 0
+        for load in self._loads:
+            if load.seq <= seq or not load.completed:
+                continue
+            searched += 1
+            if load.addr + load.size <= addr or \
+                    addr + size <= load.addr:
+                continue
+            correct, _ = self._forwarded_value(load.seq, load.addr,
+                                               load.size)
+            if correct != load.value:
+                if earliest is None or load.seq < earliest.seq:
+                    earliest = load
+        self.counters.incr("lsq_lq_entries_searched", searched)
+        if earliest is None:
+            return []
+        self.counters.incr("lsq_true_violations")
+        return [Violation(TRUE_DEP, flush_after_seq=earliest.seq - 1,
+                          producer_pc=entry.pc, consumer_pc=earliest.pc)]
+
+    def reexecute_load(self, seq: int) -> Tuple[int, int]:
+        """Value-based replay (Cain & Lipasti): recompute the load's value
+        at retirement and return ``(original, current)``.
+
+        At retirement every older store has committed, so the recomputed
+        value is architecturally correct; a mismatch means the original
+        execution consumed stale or misordered data.
+        """
+        self.counters.incr("lsq_retire_replays")
+        entry = self._load_by_seq[seq]
+        current, _ = self._forwarded_value(seq, entry.addr, entry.size)
+        return entry.value, current
+
+    # -- retirement -------------------------------------------------------------------
+
+    def retire_load(self, seq: int) -> None:
+        entry = self._load_by_seq.pop(seq, None)
+        if entry is not None:
+            self._loads.remove(entry)
+
+    def retire_store(self, seq: int) -> Tuple[int, int, int]:
+        """Pop the retiring store; returns (addr, size, data) to commit."""
+        entry = self._store_by_seq.pop(seq)
+        self._stores.remove(entry)
+        return entry.addr, entry.size, entry.data
+
+    # -- flush ------------------------------------------------------------------------
+
+    def flush_after(self, seq: int) -> None:
+        """Discard every entry younger than ``seq`` (tail-pointer reset)."""
+        while self._loads and self._loads[-1].seq > seq:
+            dead = self._loads.pop()
+            del self._load_by_seq[dead.seq]
+        while self._stores and self._stores[-1].seq > seq:
+            dead = self._stores.pop()
+            del self._store_by_seq[dead.seq]
+
+    def flush_all(self) -> None:
+        self._loads.clear()
+        self._stores.clear()
+        self._load_by_seq.clear()
+        self._store_by_seq.clear()
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def load_occupancy(self) -> int:
+        return len(self._loads)
+
+    @property
+    def store_occupancy(self) -> int:
+        return len(self._stores)

@@ -1,0 +1,302 @@
+"""Memory Disambiguation Table (MDT) -- Section 2.2 of the paper.
+
+The MDT replaces the load queue's associative search with an
+address-indexed, cache-like table that applies basic timestamp ordering
+(Bernstein & Goodman) to in-flight memory accesses.  Each entry tracks the
+highest sequence numbers yet seen of the loads and stores to one *granule*
+of memory (8 bytes by default), plus the PCs of those instructions so that
+the dependence predictor can be trained on a violation.
+
+Protocol (per granule touched by an access):
+
+* **load issues**: if its sequence number is older than the entry's store
+  sequence number, an *anti* dependence has been violated (a younger store
+  already wrote the SFC word this load should have read first).  Otherwise
+  the load records itself if it is the youngest load seen.
+* **store issues**: a younger load already issued means a *true* dependence
+  violation (the load read stale data); a younger store already issued
+  means an *output* dependence violation (this store would overwrite the
+  younger store's value in the SFC).  Otherwise the store records itself.
+* **retire**: the retiring instruction invalidates its own sequence number
+  if it is still the recorded one; an entry with neither number valid is
+  freed.
+
+Entries may be *tagged* (set-associative; a set conflict replays the
+instruction) or *untagged* (all addresses mapping to a set share it, so
+aliasing produces spurious violations -- the paper's cheaper variant).
+
+Partial pipeline flushes leave the MDT untouched; canceled sequence
+numbers make it conservative, and watermark scrubbing reclaims entries
+whose numbers are all older than the oldest in-flight instruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..stats.counters import Counters
+from .violations import ANTI_DEP, OUTPUT_DEP, TRUE_DEP, Violation
+
+MDT_OK = "ok"
+MDT_CONFLICT = "conflict"
+
+
+class MDTConfig:
+    """Geometry and policy knobs of the memory disambiguation table."""
+
+    __slots__ = ("num_sets", "assoc", "granularity", "tagged",
+                 "counted_load_recovery")
+
+    def __init__(self, num_sets: int = 4096, assoc: int = 2,
+                 granularity: int = 8, tagged: bool = True,
+                 counted_load_recovery: bool = False):
+        if num_sets & (num_sets - 1):
+            raise ValueError("num_sets must be a power of two")
+        if granularity & (granularity - 1):
+            raise ValueError("granularity must be a power of two")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.granularity = granularity
+        self.tagged = tagged
+        #: Section 2.4.1: when a true violation is detected and exactly one
+        #: completed-not-retired load is tracked, flush from that load
+        #: instead of from the completing store.
+        self.counted_load_recovery = counted_load_recovery
+
+    def __repr__(self) -> str:
+        return (f"MDTConfig(num_sets={self.num_sets}, assoc={self.assoc}, "
+                f"granularity={self.granularity}, tagged={self.tagged})")
+
+
+class _MDTEntry:
+    __slots__ = ("tag", "load_seq", "store_seq", "load_pc", "store_pc",
+                 "load_count")
+
+    def __init__(self, tag: int):
+        self.tag = tag
+        self.load_seq = -1      # -1 encodes "invalid"
+        self.store_seq = -1
+        self.load_pc = 0
+        self.store_pc = 0
+        self.load_count = 0     # completed-but-not-retired loads (§2.4.1)
+
+
+class AccessResult:
+    """Outcome of one MDT access.
+
+    ``status`` is ``MDT_OK`` or ``MDT_CONFLICT`` (replay).  ``violations``
+    lists every dependence violation detected (empty when none).
+    """
+
+    __slots__ = ("status", "violations")
+
+    def __init__(self, status: str, violations: List[Violation]):
+        self.status = status
+        self.violations = violations
+
+
+_OK_NO_VIOLATION = AccessResult(MDT_OK, [])
+
+
+class MemoryDisambiguationTable:
+    """Address-indexed memory disambiguation via sequence numbers."""
+
+    def __init__(self, config: MDTConfig, counters: Optional[Counters] = None):
+        self.config = config
+        self.counters = counters if counters is not None else Counters()
+        self._set_mask = config.num_sets - 1
+        self._granule_shift = config.granularity.bit_length() - 1
+        self._sets: List[List[_MDTEntry]] = [
+            [] for _ in range(config.num_sets)]
+        self.eviction_events = 0
+
+    # -- internals --------------------------------------------------------------
+
+    def _granules(self, addr: int, size: int) -> List[int]:
+        first = addr >> self._granule_shift
+        last = (addr + size - 1) >> self._granule_shift
+        return list(range(first, last + 1))
+
+    def _lookup(self, granule: int, watermark: int,
+                allocate: bool) -> Tuple[Optional[_MDTEntry], bool]:
+        """Find (or allocate) the entry for one granule.
+
+        Returns ``(entry, conflicted)``.  ``entry`` is None either when the
+        set conflicts (``conflicted`` True) or when nothing is allocated and
+        ``allocate`` is False.
+        """
+        ways = self._sets[granule & self._set_mask]
+        if not self.config.tagged:
+            # Untagged MDT: one shared entry per set; aliasing is accepted.
+            if ways:
+                return ways[0], False
+            if not allocate:
+                return None, False
+            entry = _MDTEntry(granule)
+            ways.append(entry)
+            return entry, False
+        for entry in ways:
+            if entry.tag == granule:
+                return entry, False
+        if not allocate:
+            return None, False
+        if len(ways) >= self.config.assoc:
+            self._scrub_set(ways, watermark)
+        if len(ways) >= self.config.assoc:
+            return None, True
+        entry = _MDTEntry(granule)
+        ways.append(entry)
+        return entry, False
+
+    def _scrub_set(self, ways: List[_MDTEntry], watermark: int) -> None:
+        alive = [e for e in ways
+                 if e.load_seq >= watermark or e.store_seq >= watermark]
+        if len(alive) != len(ways):
+            self.eviction_events += len(ways) - len(alive)
+            ways[:] = alive
+
+    # -- issue-time accesses -------------------------------------------------------
+
+    def access_load(self, addr: int, size: int, seq: int, pc: int,
+                    watermark: int) -> AccessResult:
+        """A load has computed its address and consults the MDT."""
+        self.counters.incr("mdt_load_accesses")
+        violations: List[Violation] = []
+        for granule in self._granules(addr, size):
+            entry, conflicted = self._lookup(granule, watermark,
+                                             allocate=True)
+            if conflicted:
+                self.counters.incr("mdt_set_conflicts")
+                return AccessResult(MDT_CONFLICT, violations)
+            assert entry is not None
+            if entry.store_seq >= 0 and seq < entry.store_seq:
+                # A younger store already completed: anti violation.  Flush
+                # the load and everything after it (Section 2.2).
+                self.counters.incr("mdt_anti_violations")
+                violations.append(Violation(
+                    ANTI_DEP, flush_after_seq=seq - 1,
+                    producer_pc=pc, consumer_pc=entry.store_pc))
+                continue
+            if seq >= entry.load_seq:
+                entry.load_seq = seq
+                entry.load_pc = pc
+            entry.load_count += 1
+        if violations:
+            return AccessResult(MDT_OK, violations)
+        return _OK_NO_VIOLATION
+
+    def access_store(self, addr: int, size: int, seq: int, pc: int,
+                     watermark: int) -> AccessResult:
+        """A store has computed its address/data and consults the MDT."""
+        self.counters.incr("mdt_store_accesses")
+        violations: List[Violation] = []
+        for granule in self._granules(addr, size):
+            entry, conflicted = self._lookup(granule, watermark,
+                                             allocate=True)
+            if conflicted:
+                self.counters.incr("mdt_set_conflicts")
+                return AccessResult(MDT_CONFLICT, violations)
+            assert entry is not None
+            if entry.load_seq >= 0 and seq < entry.load_seq:
+                # A younger load already read stale data: true violation.
+                self.counters.incr("mdt_true_violations")
+                if self.config.counted_load_recovery and \
+                        entry.load_count == 1:
+                    # §2.4.1: the tracked load is the only conflicting one;
+                    # flush from the load instead of from this store.
+                    flush_after = entry.load_seq - 1
+                else:
+                    flush_after = seq
+                violations.append(Violation(
+                    TRUE_DEP, flush_after_seq=flush_after,
+                    producer_pc=pc, consumer_pc=entry.load_pc))
+            if entry.store_seq >= 0 and seq < entry.store_seq:
+                # A younger store already completed: output violation.
+                self.counters.incr("mdt_output_violations")
+                violations.append(Violation(
+                    OUTPUT_DEP, flush_after_seq=seq,
+                    producer_pc=pc, consumer_pc=entry.store_pc))
+            if seq >= entry.store_seq:
+                entry.store_seq = seq
+                entry.store_pc = pc
+        if violations:
+            return AccessResult(MDT_OK, violations)
+        return _OK_NO_VIOLATION
+
+    def check_store(self, addr: int, size: int, seq: int,
+                    pc: int) -> List[Violation]:
+        """Check-only store access: detect violations without allocating
+        or updating.
+
+        Used when a store executed through the ROB-head bypass retires:
+        it never consulted the MDT at execute, but any younger load that
+        completed meanwhile (possibly with a stale value) *did* record
+        itself, so a scan of the matching entries at retirement finds
+        every load the bypassed store could have fed.
+        """
+        violations: List[Violation] = []
+        for granule in self._granules(addr, size):
+            entry, _ = self._lookup(granule, watermark=0, allocate=False)
+            if entry is None:
+                continue
+            if entry.load_seq >= 0 and seq < entry.load_seq:
+                self.counters.incr("mdt_true_violations_at_retire")
+                violations.append(Violation(
+                    TRUE_DEP, flush_after_seq=seq,
+                    producer_pc=pc, consumer_pc=entry.load_pc))
+        return violations
+
+    # -- retirement ---------------------------------------------------------------
+
+    def on_load_retire(self, addr: int, size: int, seq: int) -> None:
+        """A load retires: invalidate its number if still recorded."""
+        for granule in self._granules(addr, size):
+            ways = self._sets[granule & self._set_mask]
+            for i, entry in enumerate(ways):
+                if self.config.tagged and entry.tag != granule:
+                    continue
+                if entry.load_count > 0:
+                    entry.load_count -= 1
+                if entry.load_seq == seq:
+                    entry.load_seq = -1
+                if entry.load_seq < 0 and entry.store_seq < 0:
+                    del ways[i]
+                    self.eviction_events += 1
+                break
+
+    def on_store_retire(self, addr: int, size: int, seq: int) -> None:
+        """A store retires: invalidate its number if still recorded."""
+        for granule in self._granules(addr, size):
+            ways = self._sets[granule & self._set_mask]
+            for i, entry in enumerate(ways):
+                if self.config.tagged and entry.tag != granule:
+                    continue
+                if entry.store_seq == seq:
+                    entry.store_seq = -1
+                if entry.load_seq < 0 and entry.store_seq < 0:
+                    del ways[i]
+                    self.eviction_events += 1
+                break
+
+    # -- flush handling --------------------------------------------------------------
+
+    def on_partial_flush(self) -> None:
+        """Partial flushes leave the MDT unchanged (Section 2.2)."""
+
+    def on_full_flush(self) -> None:
+        """Full pipeline flush: nothing is in flight, drop everything."""
+        for ways in self._sets:
+            if ways:
+                self.eviction_events += len(ways)
+                ways.clear()
+
+    def scrub(self, watermark: int) -> None:
+        """Reclaim every dead entry."""
+        for ways in self._sets:
+            if ways:
+                self._scrub_set(ways, watermark)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)

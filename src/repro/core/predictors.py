@@ -1,0 +1,204 @@
+"""Memory dependence prediction -- Section 2.1 of the paper.
+
+The *producer-set predictor* generalises the Chrysos/Emer store-set
+predictor.  It keeps:
+
+* a PC-indexed **producer table** (PT) and **consumer table** (CT) holding
+  producer-set ids (in place of the store-set id table), and
+* a **last-fetched producer table** (LFPT) holding, per producer set, the
+  dependence tag produced by the set's most recently fetched producer.
+
+When the MDT (or LSQ) reports a violation, the predictor places the earlier
+instruction (producer) and the later instruction (consumer) in the same
+producer set, using the store-set merge rules.  At dispatch, an instruction
+whose PC hits in the PT allocates a fresh dependence tag and publishes it in
+the LFPT; an instruction whose PC hits in the CT reads the LFPT and must not
+issue until that tag is ready.  The scheduler tracks tag readiness exactly
+like physical-register readiness (:class:`DependenceTagFile`).
+
+Enforcement modes (Section 3):
+
+* ``ENF`` -- insert predicted dependences for true, anti, and output
+  violations.
+* ``NOT_ENF`` -- insert only for true violations.
+* ``TOTAL`` -- the aggressive-processor variant: every instruction involved
+  in any violation becomes both producer and consumer, which totally orders
+  the loads and stores of a producer set in fetch order.
+* ``LSQ`` -- the conventional store-set behaviour used with the LSQ
+  baseline: true violations only, and stores never consume tags (no
+  store-store serialisation, since the silent-store-aware LSQ never flags
+  output violations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..stats.counters import Counters
+from .violations import TRUE_DEP
+
+ENF = "ENF"
+NOT_ENF = "NOT_ENF"
+TOTAL = "TOTAL"
+LSQ_MODE = "LSQ"
+
+_MODES = (ENF, NOT_ENF, TOTAL, LSQ_MODE)
+
+
+class PredictorConfig:
+    """Sizes (paper Figure 4) and enforcement mode of the predictor."""
+
+    __slots__ = ("pt_entries", "ct_entries", "num_ids", "lfpt_entries",
+                 "mode")
+
+    def __init__(self, pt_entries: int = 16384, ct_entries: int = 16384,
+                 num_ids: int = 4096, lfpt_entries: int = 512,
+                 mode: str = ENF):
+        if mode not in _MODES:
+            raise ValueError(f"unknown predictor mode {mode!r}")
+        self.pt_entries = pt_entries
+        self.ct_entries = ct_entries
+        self.num_ids = num_ids
+        self.lfpt_entries = lfpt_entries
+        self.mode = mode
+
+    def __repr__(self) -> str:
+        return f"PredictorConfig(mode={self.mode})"
+
+
+class DependenceTagFile:
+    """Scheduler-side readiness tracking for dependence tags.
+
+    Tags behave like physical registers: allocated at dispatch by
+    predicted producers, marked ready when the producer *successfully
+    completes* (the paper's idealised scheduler "oracularly avoids
+    awakening predicted consumers of loads and stores that will be
+    replayed"), and force-readied when the producer is squashed so that
+    later consumers never wait on a dead tag.
+    """
+
+    def __init__(self):
+        self._next_tag = 0
+        self._ready: Dict[int, bool] = {}
+
+    def allocate(self) -> int:
+        tag = self._next_tag
+        self._next_tag += 1
+        self._ready[tag] = False
+        return tag
+
+    def is_ready(self, tag: int) -> bool:
+        # Tags drop out of the map once released; a missing tag is stale
+        # and must not block anyone.
+        return self._ready.get(tag, True)
+
+    def mark_ready(self, tag: int) -> None:
+        if tag in self._ready:
+            self._ready[tag] = True
+
+    def release(self, tag: int) -> None:
+        self._ready.pop(tag, None)
+
+
+class ProducerSetPredictor:
+    """PC-indexed producer/consumer tables + last-fetched producer table."""
+
+    def __init__(self, config: PredictorConfig,
+                 counters: Optional[Counters] = None):
+        self.config = config
+        self.counters = counters if counters is not None else Counters()
+        self._pt: List[int] = [-1] * config.pt_entries   # -1 == invalid
+        self._ct: List[int] = [-1] * config.ct_entries
+        self._lfpt: List[Optional[int]] = [None] * config.lfpt_entries
+        self._next_id = 0
+
+    # -- indexing helpers ---------------------------------------------------------
+
+    def _pt_index(self, pc: int) -> int:
+        return (pc >> 2) % self.config.pt_entries
+
+    def _ct_index(self, pc: int) -> int:
+        return (pc >> 2) % self.config.ct_entries
+
+    def _lfpt_index(self, set_id: int) -> int:
+        return set_id % self.config.lfpt_entries
+
+    def _allocate_id(self) -> int:
+        set_id = self._next_id
+        self._next_id = (self._next_id + 1) % self.config.num_ids
+        return set_id
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def on_dispatch(self, pc: int, is_store: bool,
+                    tag_file: DependenceTagFile
+                    ) -> Tuple[Optional[int], Optional[int]]:
+        """Called for each load/store entering the pipeline.
+
+        Returns ``(consumed_tag, produced_tag)``.  Consumption is resolved
+        *before* production so that an instruction that is both producer
+        and consumer (TOTAL mode) chains onto the previous producer
+        rather than onto itself.
+        """
+        consumed: Optional[int] = None
+        cid = self._ct[self._ct_index(pc)]
+        if cid >= 0:
+            if self.config.mode == LSQ_MODE and is_store:
+                # Conventional-store-set exception: no store-store
+                # serialisation with the silent-store-aware LSQ.
+                pass
+            else:
+                consumed = self._lfpt[self._lfpt_index(cid)]
+                if consumed is not None:
+                    self.counters.incr("pred_consumes")
+
+        produced: Optional[int] = None
+        pid = self._pt[self._pt_index(pc)]
+        if pid >= 0:
+            produced = tag_file.allocate()
+            self._lfpt[self._lfpt_index(pid)] = produced
+            self.counters.incr("pred_produces")
+        return consumed, produced
+
+    # -- training --------------------------------------------------------------------
+
+    def _assign(self, table: List[int], index: int, set_id: int) -> None:
+        table[index] = set_id
+
+    def on_violation(self, kind: str, producer_pc: Optional[int],
+                     consumer_pc: Optional[int]) -> None:
+        """Train on a violation reported by the MDT or the LSQ."""
+        if producer_pc is None or consumer_pc is None:
+            return
+        mode = self.config.mode
+        if mode in (NOT_ENF, LSQ_MODE) and kind != TRUE_DEP:
+            return
+        self.counters.incr("pred_trainings")
+
+        pt_index = self._pt_index(producer_pc)
+        ct_index = self._ct_index(consumer_pc)
+        pid = self._pt[pt_index]
+        cid = self._ct[ct_index]
+        if pid < 0 and cid < 0:
+            set_id = self._allocate_id()
+        elif pid < 0:
+            set_id = cid
+        elif cid < 0:
+            set_id = pid
+        else:
+            # Merge rule: the smaller id wins (store-set convention).
+            set_id = min(pid, cid)
+        self._assign(self._pt, pt_index, set_id)
+        self._assign(self._ct, ct_index, set_id)
+
+        if mode == TOTAL:
+            # Any instruction involved in a violation becomes both
+            # producer and consumer, totally ordering the set.
+            self._assign(self._ct, self._ct_index(producer_pc), set_id)
+            self._assign(self._pt, self._pt_index(consumer_pc), set_id)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def producer_set_of(self, pc: int) -> Tuple[int, int]:
+        """(producer id, consumer id) trained for a PC; -1 when absent."""
+        return (self._pt[self._pt_index(pc)], self._ct[self._ct_index(pc)])

@@ -1,0 +1,37 @@
+"""Memory-ordering violation descriptions shared by the MDT and the LSQ."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+TRUE_DEP = "true"
+ANTI_DEP = "anti"
+OUTPUT_DEP = "output"
+
+
+class Violation:
+    """One detected memory-ordering violation.
+
+    ``flush_after_seq`` is the recovery point: every in-flight instruction
+    with a sequence number strictly greater than it must be squashed.
+    ``producer_pc``/``consumer_pc`` identify the instruction pair the
+    dependence predictor should link (the earlier instruction is the
+    producer, the later one the consumer, as in Section 2.1).
+    """
+
+    __slots__ = ("kind", "flush_after_seq", "producer_pc", "consumer_pc")
+
+    def __init__(self, kind: str, flush_after_seq: int,
+                 producer_pc: Optional[int], consumer_pc: Optional[int]):
+        self.kind = kind
+        self.flush_after_seq = flush_after_seq
+        self.producer_pc = producer_pc
+        self.consumer_pc = consumer_pc
+
+    def __repr__(self) -> str:
+        return (f"Violation({self.kind}, flush_after={self.flush_after_seq}, "
+                f"producer={self.producer_pc:#x}, "
+                f"consumer={self.consumer_pc:#x})"
+                if self.producer_pc is not None and
+                self.consumer_pc is not None else
+                f"Violation({self.kind}, flush_after={self.flush_after_seq})")

@@ -1,0 +1,95 @@
+"""Experiment runner: simulate benchmark suites across configurations.
+
+One :class:`ExperimentRunner` caches the golden trace per (benchmark,
+scale) so each workload's architectural execution happens once no matter
+how many processor configurations are measured against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..isa.interp import RetireRecord, run_program
+from ..isa.program import Program
+from ..pipeline.config import ProcessorConfig
+from ..pipeline.processor import Processor, SimResult
+from ..workloads import suites
+
+#: Default dynamic instruction budget per benchmark run.  Small enough for
+#: a pure-Python cycle-level simulator, large enough for the rates the
+#: paper reports to stabilise.
+DEFAULT_SCALE = 20_000
+
+#: Upper bound on architectural execution (guards against kernel bugs).
+TRACE_LIMIT = 5_000_000
+
+
+class ExperimentRunner:
+    """Runs (benchmark x configuration) grids with golden-trace caching."""
+
+    def __init__(self, scale: int = DEFAULT_SCALE, verbose: bool = False):
+        self.scale = scale
+        self.verbose = verbose
+        self._programs: Dict[str, Program] = {}
+        self._traces: Dict[str, List[RetireRecord]] = {}
+
+    def program(self, benchmark: str) -> Program:
+        if benchmark not in self._programs:
+            self._programs[benchmark] = suites.build(benchmark, self.scale)
+        return self._programs[benchmark]
+
+    def trace(self, benchmark: str) -> List[RetireRecord]:
+        if benchmark not in self._traces:
+            self._traces[benchmark] = run_program(self.program(benchmark),
+                                                  TRACE_LIMIT)
+        return self._traces[benchmark]
+
+    def run(self, benchmark: str, config: ProcessorConfig) -> SimResult:
+        """Simulate one benchmark under one configuration."""
+        result = Processor(self.program(benchmark), config,
+                           trace=self.trace(benchmark)).run()
+        if self.verbose:
+            print(f"  {benchmark:<10s} {config.name:<28s} "
+                  f"IPC={result.ipc:.3f}")
+        return result
+
+    def run_suite(self, benchmarks: Iterable[str],
+                  configs: Iterable[ProcessorConfig]
+                  ) -> Dict[Tuple[str, str], SimResult]:
+        """Run the full grid; keys are ``(benchmark, config.name)``."""
+        configs = list(configs)
+        results: Dict[Tuple[str, str], SimResult] = {}
+        for benchmark in benchmarks:
+            for config in configs:
+                results[(benchmark, config.name)] = self.run(benchmark,
+                                                             config)
+        return results
+
+
+def normalized_ipc(results: Dict[Tuple[str, str], SimResult],
+                   benchmark: str, config_name: str,
+                   baseline_name: str) -> float:
+    """IPC of one run normalized to the baseline configuration's run."""
+    baseline = results[(benchmark, baseline_name)].ipc
+    if not baseline:
+        return 0.0
+    return results[(benchmark, config_name)].ipc / baseline
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def suite_average(results: Dict[Tuple[str, str], SimResult],
+                  benchmarks: Iterable[str], config_name: str,
+                  baseline_name: str) -> float:
+    """Geometric mean of normalized IPCs over a benchmark list."""
+    return geometric_mean(
+        normalized_ipc(results, benchmark, config_name, baseline_name)
+        for benchmark in benchmarks)

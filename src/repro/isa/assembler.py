@@ -1,0 +1,269 @@
+"""A small programmatic assembler for building workload kernels.
+
+The assembler is a builder: each mnemonic method appends one instruction,
+labels mark branch targets, and :meth:`Assembler.build` resolves label
+references into byte addresses and returns a :class:`Program`.
+
+Example
+-------
+>>> a = Assembler()
+>>> a.li("r1", 0)
+>>> a.li("r2", 10)
+>>> a.label("loop")
+>>> a.addi("r1", "r1", 1)
+>>> a.bne("r1", "r2", "loop")
+>>> a.halt()
+>>> program = a.build(name="count")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from . import instructions as ops
+from .instructions import Instruction
+from .program import INSTRUCTION_BYTES, Program
+
+Reg = Union[int, str]
+Target = Union[int, str]
+
+
+def parse_reg(reg: Reg) -> int:
+    """Convert ``"r7"`` or ``7`` to a register index, validating range."""
+    if isinstance(reg, str):
+        if not reg.startswith("r"):
+            raise ValueError(f"bad register name {reg!r}")
+        reg = int(reg[1:])
+    if not 0 <= reg < ops.NUM_REGS:
+        raise ValueError(f"register index {reg} out of range")
+    return reg
+
+
+class AssemblyError(Exception):
+    """Raised for malformed programs (duplicate or undefined labels)."""
+
+
+class _LabelRef:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class Assembler:
+    """Builder that assembles instruction sequences with symbolic labels."""
+
+    def __init__(self):
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._data: Dict[int, bytes] = {}
+
+    # -- structure ----------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define ``name`` as the address of the next instruction."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions) * INSTRUCTION_BYTES
+
+    def data(self, addr: int, payload: bytes) -> None:
+        """Place ``payload`` into the initial data segment at ``addr``."""
+        self._data[addr] = bytes(payload)
+
+    def data_words(self, addr: int, values, width: int = 8) -> None:
+        """Place little-endian integers of ``width`` bytes starting at addr."""
+        blob = b"".join(
+            (v & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+            for v in values
+        )
+        self.data(addr, blob)
+
+    def here(self) -> int:
+        """Byte address of the next instruction to be emitted."""
+        return len(self._instructions) * INSTRUCTION_BYTES
+
+    def build(self, name: str = "program",
+              data: Optional[Dict[int, bytes]] = None) -> Program:
+        """Resolve labels and produce an executable :class:`Program`."""
+        resolved: List[Instruction] = []
+        for inst in self._instructions:
+            if isinstance(inst.imm, _LabelRef):
+                target = self._labels.get(inst.imm.name)
+                if target is None:
+                    raise AssemblyError(f"undefined label {inst.imm.name!r}")
+                inst = Instruction(inst.op, inst.rd, inst.rs1, inst.rs2,
+                                   target)
+            resolved.append(inst)
+        merged = dict(self._data)
+        if data:
+            merged.update(data)
+        return Program(resolved, data=merged, name=name)
+
+    # -- emission helpers ----------------------------------------------------
+
+    def _emit(self, op: int, rd: Reg = 0, rs1: Reg = 0, rs2: Reg = 0,
+              imm=0) -> None:
+        self._instructions.append(
+            Instruction(op, parse_reg(rd), parse_reg(rs1), parse_reg(rs2),
+                        imm))
+
+    def _target(self, target: Target):
+        if isinstance(target, str):
+            return _LabelRef(target)
+        return target
+
+    # -- ALU reg-reg ----------------------------------------------------------
+
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.ADD, rd, rs1, rs2)
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SUB, rd, rs1, rs2)
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.AND, rd, rs1, rs2)
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.OR, rd, rs1, rs2)
+
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.XOR, rd, rs1, rs2)
+
+    def slt(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SLT, rd, rs1, rs2)
+
+    def sltu(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SLTU, rd, rs1, rs2)
+
+    def sll(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SLL, rd, rs1, rs2)
+
+    def srl(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SRL, rd, rs1, rs2)
+
+    def sra(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SRA, rd, rs1, rs2)
+
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.MUL, rd, rs1, rs2)
+
+    def div(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.DIV, rd, rs1, rs2)
+
+    def rem(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.REM, rd, rs1, rs2)
+
+    def fadd(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.FADD, rd, rs1, rs2)
+
+    def fsub(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.FSUB, rd, rs1, rs2)
+
+    def fmul(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.FMUL, rd, rs1, rs2)
+
+    def fdiv(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.FDIV, rd, rs1, rs2)
+
+    # -- ALU reg-imm ----------------------------------------------------------
+
+    def addi(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.ADDI, rd, rs1, imm=imm)
+
+    def andi(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.ANDI, rd, rs1, imm=imm)
+
+    def ori(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.ORI, rd, rs1, imm=imm)
+
+    def xori(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.XORI, rd, rs1, imm=imm)
+
+    def slti(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.SLTI, rd, rs1, imm=imm)
+
+    def slli(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.SLLI, rd, rs1, imm=imm)
+
+    def srli(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.SRLI, rd, rs1, imm=imm)
+
+    def srai(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.SRAI, rd, rs1, imm=imm)
+
+    def li(self, rd: Reg, imm: int) -> None:
+        self._emit(ops.LI, rd, imm=imm)
+
+    def mov(self, rd: Reg, rs1: Reg) -> None:
+        """Pseudo-instruction: ``add rd, rs1, r0``."""
+        self._emit(ops.ADD, rd, rs1, 0)
+
+    def nop(self) -> None:
+        self._emit(ops.NOP)
+
+    # -- memory ---------------------------------------------------------------
+
+    def lb(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.LB, rd, base, imm=offset)
+
+    def lbu(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.LBU, rd, base, imm=offset)
+
+    def lh(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.LH, rd, base, imm=offset)
+
+    def lhu(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.LHU, rd, base, imm=offset)
+
+    def lw(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.LW, rd, base, imm=offset)
+
+    def lwu(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.LWU, rd, base, imm=offset)
+
+    def ld(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.LD, rd, base, imm=offset)
+
+    def sb(self, src: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.SB, 0, base, src, imm=offset)
+
+    def sh(self, src: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.SH, 0, base, src, imm=offset)
+
+    def sw(self, src: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.SW, 0, base, src, imm=offset)
+
+    def sd(self, src: Reg, base: Reg, offset: int = 0) -> None:
+        self._emit(ops.SD, 0, base, src, imm=offset)
+
+    # -- control --------------------------------------------------------------
+
+    def beq(self, rs1: Reg, rs2: Reg, target: Target) -> None:
+        self._emit(ops.BEQ, 0, rs1, rs2, imm=self._target(target))
+
+    def bne(self, rs1: Reg, rs2: Reg, target: Target) -> None:
+        self._emit(ops.BNE, 0, rs1, rs2, imm=self._target(target))
+
+    def blt(self, rs1: Reg, rs2: Reg, target: Target) -> None:
+        self._emit(ops.BLT, 0, rs1, rs2, imm=self._target(target))
+
+    def bge(self, rs1: Reg, rs2: Reg, target: Target) -> None:
+        self._emit(ops.BGE, 0, rs1, rs2, imm=self._target(target))
+
+    def bltu(self, rs1: Reg, rs2: Reg, target: Target) -> None:
+        self._emit(ops.BLTU, 0, rs1, rs2, imm=self._target(target))
+
+    def bgeu(self, rs1: Reg, rs2: Reg, target: Target) -> None:
+        self._emit(ops.BGEU, 0, rs1, rs2, imm=self._target(target))
+
+    def j(self, target: Target) -> None:
+        self._emit(ops.J, imm=self._target(target))
+
+    def jal(self, rd: Reg, target: Target) -> None:
+        self._emit(ops.JAL, rd, imm=self._target(target))
+
+    def jr(self, rs1: Reg) -> None:
+        self._emit(ops.JR, 0, rs1)
+
+    def halt(self) -> None:
+        self._emit(ops.HALT)

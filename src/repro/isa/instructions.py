@@ -1,0 +1,172 @@
+"""Instruction set for the simulated 64-bit RISC machine.
+
+The paper evaluates its memory subsystem on a 64-bit MIPS pipeline.  We
+define a small MIPS-like load/store ISA that is sufficient to express the
+workload kernels: integer ALU operations, long-latency multiply/divide,
+"floating-point class" operations (integer semantics, FP latencies, used by
+the specfp-style kernels), byte/half/word/double loads and stores, and
+conditional branches and jumps.
+
+All register values are 64-bit unsigned integers in ``[0, 2**64)``; signed
+operations interpret them as two's complement.  Register 0 is hardwired to
+zero, as in MIPS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+MASK64 = (1 << 64) - 1
+NUM_REGS = 32
+
+# --- opcode constants -------------------------------------------------------
+# Grouped by execution class.  Values are small ints so dispatch tables are
+# plain list lookups in the hot interpreter/pipeline loops.
+
+# ALU register-register
+ADD, SUB, AND, OR, XOR, SLT, SLTU, SLL, SRL, SRA = range(10)
+# ALU register-immediate
+ADDI, ANDI, ORI, XORI, SLTI, SLLI, SRLI, SRAI, LI = range(10, 19)
+# Long-latency integer
+MUL, DIV, REM = range(19, 22)
+# FP-class (integer semantics, FP latency) -- used by specfp-style kernels
+FADD, FSUB, FMUL, FDIV = range(22, 26)
+# Loads (signed/unsigned byte, half, word; doubleword)
+LB, LBU, LH, LHU, LW, LWU, LD = range(26, 33)
+# Stores
+SB, SH, SW, SD = range(33, 37)
+# Control
+BEQ, BNE, BLT, BGE, BLTU, BGEU, J, JAL, JR, HALT, NOP = range(37, 48)
+
+NUM_OPCODES = 48
+
+OPCODE_NAMES = {
+    ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+    SLT: "slt", SLTU: "sltu", SLL: "sll", SRL: "srl", SRA: "sra",
+    ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLTI: "slti",
+    SLLI: "slli", SRLI: "srli", SRAI: "srai", LI: "li",
+    MUL: "mul", DIV: "div", REM: "rem",
+    FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+    LB: "lb", LBU: "lbu", LH: "lh", LHU: "lhu", LW: "lw", LWU: "lwu",
+    LD: "ld",
+    SB: "sb", SH: "sh", SW: "sw", SD: "sd",
+    BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu",
+    BGEU: "bgeu", J: "j", JAL: "jal", JR: "jr", HALT: "halt", NOP: "nop",
+}
+
+LOAD_OPS = frozenset({LB, LBU, LH, LHU, LW, LWU, LD})
+STORE_OPS = frozenset({SB, SH, SW, SD})
+MEM_OPS = LOAD_OPS | STORE_OPS
+BRANCH_OPS = frozenset({BEQ, BNE, BLT, BGE, BLTU, BGEU})
+JUMP_OPS = frozenset({J, JAL, JR})
+CONTROL_OPS = BRANCH_OPS | JUMP_OPS
+
+#: Number of bytes accessed by each memory opcode.
+ACCESS_SIZE = {
+    LB: 1, LBU: 1, LH: 2, LHU: 2, LW: 4, LWU: 4, LD: 8,
+    SB: 1, SH: 2, SW: 4, SD: 8,
+}
+
+#: Execution latency class for each opcode (cycles in the function unit).
+#: Matches common superscalar models: single-cycle integer ALU, pipelined
+#: multi-cycle multiply and FP, long divide.
+OP_LATENCY = {MUL: 3, DIV: 12, REM: 12, FADD: 4, FSUB: 4, FMUL: 4, FDIV: 12}
+DEFAULT_LATENCY = 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as two's-complement signed."""
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap an arbitrary Python int into the 64-bit unsigned range."""
+    return value & MASK64
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend ``value`` from ``bits`` bits to the full 64-bit range."""
+    sign_bit = 1 << (bits - 1)
+    if value & sign_bit:
+        value |= MASK64 ^ ((1 << bits) - 1)
+    return value & MASK64
+
+
+class Instruction:
+    """A single static instruction.
+
+    Attributes
+    ----------
+    op:
+        One of the opcode constants in this module.
+    rd:
+        Destination register index (0 means "no destination" for every
+        opcode except the degenerate write to r0, which is discarded).
+    rs1, rs2:
+        Source register indices.
+    imm:
+        Immediate operand: the signed offset for loads/stores/ALU-imm, the
+        byte target address for branches and jumps, or the 64-bit literal
+        for ``li``.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm")
+
+    def __init__(self, op: int, rd: int = 0, rs1: int = 0, rs2: int = 0,
+                 imm: int = 0):
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEM_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in CONTROL_OPS
+
+    @property
+    def access_size(self) -> Optional[int]:
+        return ACCESS_SIZE.get(self.op)
+
+    @property
+    def latency(self) -> int:
+        return OP_LATENCY.get(self.op, DEFAULT_LATENCY)
+
+    def __repr__(self) -> str:
+        name = OPCODE_NAMES.get(self.op, f"op{self.op}")
+        op = self.op
+        if op in LOAD_OPS:
+            return f"{name} r{self.rd}, {self.imm}(r{self.rs1})"
+        if op in STORE_OPS:
+            return f"{name} r{self.rs2}, {self.imm}(r{self.rs1})"
+        if op in BRANCH_OPS:
+            return f"{name} r{self.rs1}, r{self.rs2}, {self.imm:#x}"
+        if op == J:
+            return f"{name} {self.imm:#x}"
+        if op == JAL:
+            return f"{name} r{self.rd}, {self.imm:#x}"
+        if op == JR:
+            return f"{name} r{self.rs1}"
+        if op in (HALT, NOP):
+            return name
+        if op == LI:
+            return f"{name} r{self.rd}, {self.imm:#x}"
+        if ADDI <= op <= SRAI:
+            return f"{name} r{self.rd}, r{self.rs1}, {self.imm}"
+        return f"{name} r{self.rd}, r{self.rs1}, r{self.rs2}"

@@ -1,0 +1,193 @@
+"""Text-format assembly parser.
+
+Lets programs be written as plain assembly strings instead of builder
+calls:
+
+    program = parse_asm('''
+        .data 0x1000 words 1 2 3
+            li   r1, 0x1000
+            li   r2, 0
+            li   r3, 3
+        loop:
+            slli r4, r2, 3
+            add  r4, r4, r1
+            ld   r5, 0(r4)
+            add  r6, r6, r5
+            addi r2, r2, 1
+            bne  r2, r3, loop
+            halt
+    ''')
+
+Syntax
+------
+* one instruction per line; ``#`` or ``;`` start a comment;
+* ``label:`` on its own line (or before an instruction) defines a label;
+* loads/stores use ``offset(base)`` addressing: ``ld r5, 8(r4)``,
+  ``sd r5, -16(r4)``;
+* branch targets are labels or absolute addresses;
+* immediates accept decimal, hex (``0x``), and negative values;
+* ``.data ADDR bytes B0 B1 ...`` and ``.data ADDR words W0 W1 ...``
+  populate the initial data segment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .assembler import Assembler, AssemblyError
+from .program import Program
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+#: mnemonics taking ``rd, rs1, rs2``
+_RRR = {"add", "sub", "and", "or", "xor", "slt", "sltu", "sll", "srl",
+        "sra", "mul", "div", "rem", "fadd", "fsub", "fmul", "fdiv"}
+#: mnemonics taking ``rd, rs1, imm``
+_RRI = {"addi", "andi", "ori", "xori", "slti", "slli", "srli", "srai"}
+#: loads: ``rd, offset(base)``
+_LOADS = {"lb", "lbu", "lh", "lhu", "lw", "lwu", "ld"}
+#: stores: ``src, offset(base)``
+_STORES = {"sb", "sh", "sw", "sd"}
+#: branches: ``rs1, rs2, target``
+_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+
+#: python-keyword-safe method names on Assembler
+_METHOD_OF = {"and": "and_", "or": "or_"}
+
+
+class AsmSyntaxError(AssemblyError):
+    """Malformed assembly text (carries the offending line number)."""
+
+    def __init__(self, line_number: int, line: str, message: str):
+        super().__init__(f"line {line_number}: {message}: {line!r}")
+        self.line_number = line_number
+
+
+def _parse_int(token: str, line_number: int, line: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AsmSyntaxError(line_number, line,
+                             f"bad integer {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",")] if rest else []
+
+
+def parse_asm(text: str, name: str = "program") -> Program:
+    """Parse assembly text into an executable :class:`Program`."""
+    asm = Assembler()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        # Disassembly-style address prefixes ("0x0040: add ...") are
+        # ignored, so `parse_asm(program.disassemble())` roundtrips.
+        line = re.sub(r"^(0[xX][0-9a-fA-F]+|\d+):\s*", "", line)
+        if not line:
+            continue
+
+        # Labels (possibly followed by an instruction on the same line).
+        while True:
+            match = re.match(r"^([A-Za-z_]\w*):\s*(.*)$", line)
+            if not match:
+                break
+            asm.label(match.group(1))
+            line = match.group(2).strip()
+        if not line:
+            continue
+
+        # Data directives.
+        if line.startswith(".data"):
+            parts = line.split()
+            if len(parts) < 4 or parts[2] not in ("bytes", "words"):
+                raise AsmSyntaxError(
+                    line_number, raw,
+                    "expected '.data ADDR bytes|words V0 V1 ...'")
+            addr = _parse_int(parts[1], line_number, raw)
+            values = [_parse_int(tok, line_number, raw)
+                      for tok in parts[3:]]
+            if parts[2] == "bytes":
+                asm.data(addr, bytes(v & 0xFF for v in values))
+            else:
+                asm.data_words(addr, values)
+            continue
+
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        operands = _split_operands(rest.strip())
+
+        def need(n: int) -> None:
+            if len(operands) != n:
+                raise AsmSyntaxError(
+                    line_number, raw,
+                    f"{mnemonic} expects {n} operands, got "
+                    f"{len(operands)}")
+
+        def mem_operand(token: str):
+            match = _MEM_OPERAND.match(token.replace(" ", ""))
+            if not match:
+                raise AsmSyntaxError(line_number, raw,
+                                     f"bad memory operand {token!r}")
+            return (_parse_int(match.group(1), line_number, raw),
+                    match.group(2))
+
+        def target(token: str):
+            if re.match(r"^-?(0x)?[0-9a-fA-F]+$", token):
+                return _parse_int(token, line_number, raw)
+            return token
+
+        try:
+            if mnemonic in _RRR:
+                need(3)
+                getattr(asm, _METHOD_OF.get(mnemonic, mnemonic))(
+                    *operands)
+            elif mnemonic in _RRI:
+                need(3)
+                getattr(asm, mnemonic)(
+                    operands[0], operands[1],
+                    _parse_int(operands[2], line_number, raw))
+            elif mnemonic == "li":
+                need(2)
+                asm.li(operands[0],
+                       _parse_int(operands[1], line_number, raw))
+            elif mnemonic == "mov":
+                need(2)
+                asm.mov(operands[0], operands[1])
+            elif mnemonic in _LOADS:
+                need(2)
+                offset, base = mem_operand(operands[1])
+                getattr(asm, mnemonic)(operands[0], base, offset)
+            elif mnemonic in _STORES:
+                need(2)
+                offset, base = mem_operand(operands[1])
+                getattr(asm, mnemonic)(operands[0], base, offset)
+            elif mnemonic in _BRANCHES:
+                need(3)
+                getattr(asm, mnemonic)(operands[0], operands[1],
+                                       target(operands[2]))
+            elif mnemonic == "j":
+                need(1)
+                asm.j(target(operands[0]))
+            elif mnemonic == "jal":
+                need(2)
+                asm.jal(operands[0], target(operands[1]))
+            elif mnemonic == "jr":
+                need(1)
+                asm.jr(operands[0])
+            elif mnemonic == "nop":
+                need(0)
+                asm.nop()
+            elif mnemonic == "halt":
+                need(0)
+                asm.halt()
+            else:
+                raise AsmSyntaxError(line_number, raw,
+                                     f"unknown mnemonic {mnemonic!r}")
+        except ValueError as exc:
+            raise AsmSyntaxError(line_number, raw, str(exc)) from None
+
+    return asm.build(name=name)

@@ -1,0 +1,64 @@
+"""Program container: code image plus initial data segment.
+
+Instructions occupy 4 bytes each starting at address 0; data lives anywhere
+in the 64-bit address space.  Fetching past the end of the code image yields
+``nop`` padding followed by a ``halt`` -- this matters because the simulator
+executes down mispredicted paths, which may run off the end of the program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .instructions import HALT, NOP, Instruction
+
+INSTRUCTION_BYTES = 4
+
+#: How many nop instructions are implicitly appended past the end of the
+#: code image before the implicit halt.  Wrong-path fetch may fall through
+#: the last instruction; the pad keeps it harmless until the flush arrives.
+WRONG_PATH_PAD = 64
+
+_NOP = Instruction(NOP)
+_HALT = Instruction(HALT)
+
+
+class Program:
+    """An executable image: instruction list + initial memory contents."""
+
+    def __init__(self, instructions: List[Instruction],
+                 data: Optional[Dict[int, bytes]] = None,
+                 name: str = "program"):
+        self.instructions = instructions
+        self.data = dict(data or {})
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, pc: int) -> Instruction:
+        """Return the instruction at byte address ``pc``.
+
+        Unaligned or out-of-range addresses return pad instructions rather
+        than raising, because wrong-path execution routinely produces them.
+        """
+        if pc & (INSTRUCTION_BYTES - 1):
+            return _NOP
+        index = pc >> 2
+        instructions = self.instructions
+        if 0 <= index < len(instructions):
+            return instructions[index]
+        if len(instructions) <= index < len(instructions) + WRONG_PATH_PAD:
+            return _NOP
+        return _HALT
+
+    def pc_of(self, index: int) -> int:
+        """Byte address of the instruction at position ``index``."""
+        return index * INSTRUCTION_BYTES
+
+    def disassemble(self) -> str:
+        """Human-readable listing of the code image."""
+        lines = []
+        for i, inst in enumerate(self.instructions):
+            lines.append(f"{i * INSTRUCTION_BYTES:#06x}: {inst!r}")
+        return "\n".join(lines)

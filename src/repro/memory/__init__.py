@@ -1,0 +1,12 @@
+"""Functional memory and timing caches."""
+
+from .cache import Cache, CacheConfig, CacheHierarchy, paper_hierarchy
+from .main_memory import MainMemory
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "MainMemory",
+    "paper_hierarchy",
+]

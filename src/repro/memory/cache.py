@@ -1,0 +1,140 @@
+"""Set-associative timing caches.
+
+These caches model *latency only*; architectural data lives in
+:class:`~repro.memory.main_memory.MainMemory`.  Keeping function and timing
+separate makes every memory-subsystem configuration read identical data and
+confines all value divergence to the structures under study (LSQ vs
+SFC/MDT), as the paper's methodology requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class CacheConfig:
+    """Geometry and latencies of one cache level."""
+
+    __slots__ = ("name", "size_bytes", "assoc", "line_bytes", "hit_latency",
+                 "miss_penalty")
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int, hit_latency: int, miss_penalty: int):
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"assoc*line ({assoc}*{line_bytes})")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.miss_penalty = miss_penalty
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement.
+
+    ``lookup`` probes and fills on miss, returning whether the access hit.
+    Accesses and hit/miss counts are tracked for the statistics report.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != config.line_bytes:
+            raise ValueError("line size must be a power of two")
+        self._set_mask = config.num_sets - 1
+        if config.num_sets & self._set_mask:
+            raise ValueError("number of sets must be a power of two")
+        # Each set is an LRU-ordered list of line tags (MRU last).
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def lookup(self, addr: int) -> bool:
+        """Probe the cache for ``addr``; fill on miss.  Returns hit?"""
+        self.accesses += 1
+        line = addr >> self._line_shift
+        ways = self._sets[line & self._set_mask]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            return True
+        self.misses += 1
+        if len(ways) >= self.config.assoc:
+            ways.pop(0)
+        ways.append(line)
+        return False
+
+    def flush(self) -> None:
+        """Invalidate every line (statistics are preserved)."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class CacheHierarchy:
+    """Two-level hierarchy matching the paper's Figure 4 parameters.
+
+    ``data_latency``/``inst_latency`` return the total access latency in
+    cycles, filling lines along the way: an L1 hit costs ``hit_latency``,
+    an L1 miss that hits in L2 adds the L1 miss penalty, and an L2 miss
+    adds the L2 miss penalty on top.
+    """
+
+    def __init__(self, l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig):
+        self.l1i = Cache(l1i)
+        self.l1d = Cache(l1d)
+        self.l2 = Cache(l2)
+
+    def data_latency(self, addr: int) -> int:
+        """Latency of a data access (load or store commit) to ``addr``."""
+        if self.l1d.lookup(addr):
+            return self.l1d.config.hit_latency
+        latency = self.l1d.config.hit_latency + self.l1d.config.miss_penalty
+        if not self.l2.lookup(addr):
+            latency += self.l2.config.miss_penalty
+        return latency
+
+    def inst_latency(self, addr: int) -> int:
+        """Latency of an instruction fetch from ``addr``."""
+        if self.l1i.lookup(addr):
+            return self.l1i.config.hit_latency
+        latency = self.l1i.config.hit_latency + self.l1i.config.miss_penalty
+        if not self.l2.lookup(addr):
+            latency += self.l2.config.miss_penalty
+        return latency
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counts for every level, keyed for the report."""
+        out: Dict[str, float] = {}
+        for cache in (self.l1i, self.l1d, self.l2):
+            name = cache.config.name
+            out[f"{name}_accesses"] = cache.accesses
+            out[f"{name}_misses"] = cache.misses
+            out[f"{name}_miss_rate"] = cache.miss_rate
+        return out
+
+
+def paper_hierarchy() -> CacheHierarchy:
+    """The exact cache geometry of the paper's Figure 4."""
+    return CacheHierarchy(
+        l1i=CacheConfig("l1i", size_bytes=8 * 1024, assoc=2, line_bytes=128,
+                        hit_latency=1, miss_penalty=10),
+        l1d=CacheConfig("l1d", size_bytes=8 * 1024, assoc=4, line_bytes=64,
+                        hit_latency=1, miss_penalty=10),
+        l2=CacheConfig("l2", size_bytes=512 * 1024, assoc=8, line_bytes=128,
+                       hit_latency=1, miss_penalty=100),
+    )

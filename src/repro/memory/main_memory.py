@@ -1,0 +1,94 @@
+"""Flat functional memory.
+
+The simulator splits *function* from *timing*: architectural data lives in
+this flat, sparse, byte-addressable memory (updated only when stores
+retire), while the cache hierarchy (:mod:`repro.memory.cache`) models access
+latency only.  Reads of untouched addresses return zero, which keeps
+wrong-path loads harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MainMemory:
+    """Sparse paged byte-addressable memory with little-endian integers."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, page_index: int) -> bytearray:
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_index] = page
+        return page
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        """Write raw bytes starting at ``addr`` (may span pages)."""
+        offset = 0
+        remaining = len(payload)
+        while remaining:
+            page = self._page(addr >> PAGE_SHIFT)
+            start = addr & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - start)
+            page[start:start + chunk] = payload[offset:offset + chunk]
+            addr += chunk
+            offset += chunk
+            remaining -= chunk
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read ``size`` raw bytes starting at ``addr`` (may span pages)."""
+        parts = []
+        remaining = size
+        while remaining:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            start = addr & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - start)
+            if page is None:
+                parts.append(bytes(chunk))
+            else:
+                parts.append(bytes(page[start:start + chunk]))
+            addr += chunk
+            remaining -= chunk
+        return b"".join(parts)
+
+    def read_int(self, addr: int, size: int) -> int:
+        """Read a little-endian unsigned integer of ``size`` bytes."""
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        start = addr & PAGE_MASK
+        if page is not None and start + size <= PAGE_SIZE:
+            return int.from_bytes(page[start:start + size], "little")
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def write_int(self, addr: int, size: int, value: int) -> None:
+        """Write a little-endian unsigned integer of ``size`` bytes."""
+        value &= (1 << (8 * size)) - 1
+        start = addr & PAGE_MASK
+        if start + size <= PAGE_SIZE:
+            page = self._page(addr >> PAGE_SHIFT)
+            page[start:start + size] = value.to_bytes(size, "little")
+        else:
+            self.write_bytes(addr, value.to_bytes(size, "little"))
+
+    def load_segments(self, segments: Dict[int, bytes]) -> None:
+        """Initialise memory from a ``{addr: payload}`` map."""
+        for addr, payload in segments.items():
+            self.write_bytes(addr, payload)
+
+    def copy(self) -> "MainMemory":
+        """Deep copy; each simulator run owns its memory image."""
+        clone = MainMemory()
+        clone._pages = {idx: bytearray(page)
+                        for idx, page in self._pages.items()}
+        return clone
+
+    def touched_pages(self) -> Iterable[Tuple[int, bytes]]:
+        """Yield ``(base_address, contents)`` for every allocated page."""
+        for idx in sorted(self._pages):
+            yield idx << PAGE_SHIFT, bytes(self._pages[idx])

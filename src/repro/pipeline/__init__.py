@@ -1,0 +1,26 @@
+"""Cycle-level out-of-order superscalar pipeline."""
+
+from .config import (SUBSYSTEM_LOAD_REPLAY, SUBSYSTEM_LSQ,
+                     SUBSYSTEM_SFC_MDT, ProcessorConfig)
+from .dyninst import DynInst
+from .pipetrace import InstructionTrace, PipeTracer, trace_run
+from .processor import Processor, SimResult, SimulationError
+from .rename import RenameError, RenameTable
+from .scheduler import Scheduler
+
+__all__ = [
+    "DynInst",
+    "InstructionTrace",
+    "PipeTracer",
+    "trace_run",
+    "Processor",
+    "ProcessorConfig",
+    "RenameError",
+    "RenameTable",
+    "Scheduler",
+    "SimResult",
+    "SimulationError",
+    "SUBSYSTEM_LOAD_REPLAY",
+    "SUBSYSTEM_LSQ",
+    "SUBSYSTEM_SFC_MDT",
+]

@@ -1,0 +1,75 @@
+"""Processor configuration.
+
+The two presets mirror the paper's Figure 4: a 4-wide *baseline*
+superscalar with a 128-entry window and an 8-wide *aggressive* superscalar
+with a 1024-entry window, each combinable with either memory subsystem.
+Preset constructors live in :mod:`repro.harness.configs`; this module
+defines the parameter record itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.lsq import LSQConfig
+from ..core.mdt import MDTConfig
+from ..core.predictors import ENF, PredictorConfig
+from ..core.sfc import SFCConfig
+from ..core.subsystem import OUTPUT_RECOVERY_FLUSH
+
+SUBSYSTEM_LSQ = "lsq"
+SUBSYSTEM_SFC_MDT = "sfc_mdt"
+SUBSYSTEM_LOAD_REPLAY = "load_replay"
+
+
+class ProcessorConfig:
+    """Every knob of the simulated superscalar."""
+
+    def __init__(
+        self,
+        width: int = 4,
+        fetch_branches_per_cycle: int = 1,
+        rob_size: int = 128,
+        sched_size: int = 128,
+        num_fus: int = 4,
+        mispredict_penalty: int = 8,
+        subsystem: str = SUBSYSTEM_LSQ,
+        lsq: Optional[LSQConfig] = None,
+        sfc: Optional[SFCConfig] = None,
+        mdt: Optional[MDTConfig] = None,
+        predictor: Optional[PredictorConfig] = None,
+        store_fifo_capacity: int = 256,
+        output_recovery: str = OUTPUT_RECOVERY_FLUSH,
+        oracle_fix_rate: float = 0.8,
+        branch_seed: int = 0x5EED,
+        max_cycles: int = 50_000_000,
+        name: str = "",
+    ):
+        if subsystem not in (SUBSYSTEM_LSQ, SUBSYSTEM_SFC_MDT,
+                             SUBSYSTEM_LOAD_REPLAY):
+            raise ValueError(f"unknown subsystem {subsystem!r}")
+        self.width = width
+        self.fetch_branches_per_cycle = fetch_branches_per_cycle
+        self.rob_size = rob_size
+        self.sched_size = sched_size
+        self.num_fus = num_fus
+        self.mispredict_penalty = mispredict_penalty
+        self.subsystem = subsystem
+        self.lsq = lsq if lsq is not None else LSQConfig()
+        self.sfc = sfc if sfc is not None else SFCConfig()
+        self.mdt = mdt if mdt is not None else MDTConfig()
+        self.predictor = predictor if predictor is not None \
+            else PredictorConfig(mode=ENF)
+        self.store_fifo_capacity = store_fifo_capacity
+        self.output_recovery = output_recovery
+        self.oracle_fix_rate = oracle_fix_rate
+        self.branch_seed = branch_seed
+        self.max_cycles = max_cycles
+        self.name = name or subsystem
+
+    def __repr__(self) -> str:
+        sub = self.lsq if self.subsystem == SUBSYSTEM_LSQ \
+            else (self.sfc, self.mdt)
+        return (f"ProcessorConfig({self.name}: width={self.width}, "
+                f"rob={self.rob_size}, {self.subsystem}={sub!r}, "
+                f"pred={self.predictor.mode})")

@@ -1,0 +1,77 @@
+"""Dynamic instruction record flowing through the out-of-order pipeline."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.instructions import Instruction
+
+
+class DynInst:
+    """One in-flight dynamic instruction.
+
+    ``seq`` is the global sequence number (dispatch order, never reused --
+    the total order the MDT's timestamp protocol relies on).
+    ``trace_index`` is the instruction's position in the golden trace, or
+    -1 for wrong-path instructions.
+    """
+
+    __slots__ = (
+        "seq", "pc", "inst", "trace_index",
+        # rename state
+        "rd_phys", "old_rd_phys", "rs1_phys", "rs2_phys", "rat_snapshot",
+        # scheduler state
+        "wait_count", "stalled", "in_ready", "rob_head_bypass",
+        "consumed_tag", "produced_tag", "replay_count",
+        # execution state
+        "issued", "completed", "squashed", "dest_value",
+        "addr", "size", "store_data",
+        # control flow
+        "predicted_taken", "predicted_target", "actual_taken",
+        "actual_target",
+        # bookkeeping
+        "issue_cycle", "complete_cycle",
+    )
+
+    def __init__(self, seq: int, pc: int, inst: Instruction,
+                 trace_index: int):
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.trace_index = trace_index
+        self.rd_phys: Optional[int] = None
+        self.old_rd_phys: Optional[int] = None
+        self.rs1_phys = 0
+        self.rs2_phys = 0
+        self.rat_snapshot: Optional[List[int]] = None
+        self.wait_count = 0
+        self.stalled = False
+        self.in_ready = False
+        self.rob_head_bypass = False
+        self.consumed_tag: Optional[int] = None
+        self.produced_tag: Optional[int] = None
+        self.replay_count = 0
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.dest_value: Optional[int] = None
+        self.addr: Optional[int] = None
+        self.size = 0
+        self.store_data = 0
+        self.predicted_taken = False
+        self.predicted_target = 0
+        self.actual_taken = False
+        self.actual_target = 0
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+
+    @property
+    def on_right_path(self) -> bool:
+        return self.trace_index >= 0
+
+    def __repr__(self) -> str:
+        flags = "".join(c for c, cond in (
+            ("I", self.issued), ("C", self.completed),
+            ("S", self.squashed), ("s", self.stalled)) if cond)
+        return (f"DynInst(seq={self.seq}, pc={self.pc:#x}, {self.inst!r}, "
+                f"flags={flags or '-'})")

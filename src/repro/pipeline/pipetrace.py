@@ -1,0 +1,176 @@
+"""Pipeline event tracing ("pipetrace") for debugging and teaching.
+
+Attach a :class:`PipeTracer` to a :class:`~repro.pipeline.processor.Processor`
+to record, for every dynamic instruction, the cycles at which it was
+dispatched, issued, completed, squashed, or retired, plus memory-unit
+events (replays with their reasons, violations).  The collected trace can
+be rendered as a classic timeline:
+
+    seq    pc       instruction           D     I     C     R
+    37     0x1c     ld r5, 0(r4)          12    14    25    27   replay:sfc_corrupt@13
+
+Tracing hooks into the processor by wrapping its stage methods, so the
+processor itself stays hook-free and fast when no tracer is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .dyninst import DynInst
+from .processor import Processor
+
+
+class InstructionTrace:
+    """Lifecycle of one dynamic instruction."""
+
+    __slots__ = ("seq", "pc", "text", "dispatch_cycle", "issue_cycles",
+                 "complete_cycle", "retire_cycle", "squash_cycle",
+                 "events")
+
+    def __init__(self, seq: int, pc: int, text: str, dispatch_cycle: int):
+        self.seq = seq
+        self.pc = pc
+        self.text = text
+        self.dispatch_cycle = dispatch_cycle
+        self.issue_cycles: List[int] = []
+        self.complete_cycle: Optional[int] = None
+        self.retire_cycle: Optional[int] = None
+        self.squash_cycle: Optional[int] = None
+        self.events: List[str] = []
+
+    @property
+    def replays(self) -> int:
+        """Number of times the instruction issued beyond the first."""
+        return max(0, len(self.issue_cycles) - 1)
+
+    def format_row(self) -> str:
+        def cell(value: Optional[int]) -> str:
+            return f"{value}" if value is not None else "-"
+
+        issue = cell(self.issue_cycles[0]) if self.issue_cycles else "-"
+        marks = " ".join(self.events)
+        return (f"{self.seq:<6d} {self.pc:<#8x} {self.text:<26s} "
+                f"{self.dispatch_cycle:<5d} {issue:<5s} "
+                f"{cell(self.complete_cycle):<5s} "
+                f"{cell(self.retire_cycle):<5s} {marks}")
+
+
+class PipeTracer:
+    """Records per-instruction pipeline events from a live processor."""
+
+    def __init__(self, processor: Processor,
+                 max_instructions: int = 100_000):
+        self.processor = processor
+        self.max_instructions = max_instructions
+        self.traces: Dict[int, InstructionTrace] = {}
+        self._install(processor)
+
+    # -- hook installation ----------------------------------------------------
+
+    def _install(self, proc: Processor) -> None:
+        orig_dispatch = proc._dispatch
+        orig_execute = proc._execute
+        orig_complete = proc._complete
+        orig_retire = proc._retire_one
+        orig_squash = proc._squash_after
+
+        def dispatch(static, pc):
+            orig_dispatch(static, pc)
+            inst = proc.rob[-1]
+            if len(self.traces) < self.max_instructions:
+                self.traces[inst.seq] = InstructionTrace(
+                    inst.seq, pc, repr(static), proc.cycle)
+
+        def execute(inst: DynInst):
+            trace = self.traces.get(inst.seq)
+            if trace is not None:
+                trace.issue_cycles.append(proc.cycle)
+            orig_execute(inst)
+            if trace is not None and inst.stalled:
+                trace.events.append(
+                    f"replay@{proc.cycle}")
+
+        def complete(inst: DynInst):
+            orig_complete(inst)
+            trace = self.traces.get(inst.seq)
+            if trace is not None and inst.completed:
+                trace.complete_cycle = proc.cycle
+
+        def retire(head: DynInst):
+            orig_retire(head)
+            trace = self.traces.get(head.seq)
+            if trace is not None:
+                trace.retire_cycle = proc.cycle
+
+        def squash_after(flush_after_seq: int):
+            cycle = proc.cycle
+            # Mark everything younger before the processor drops it.
+            for seq, trace in self.traces.items():
+                if seq > flush_after_seq and trace.retire_cycle is None \
+                        and trace.squash_cycle is None:
+                    candidate = proc._by_seq.get(seq)
+                    if candidate is not None:
+                        trace.squash_cycle = cycle
+                        trace.events.append(f"squash@{cycle}")
+            return orig_squash(flush_after_seq)
+
+        proc._dispatch = dispatch
+        proc._execute = execute
+        proc._complete = complete
+        proc._retire_one = retire
+        proc._squash_after = squash_after
+
+    # -- queries ---------------------------------------------------------------
+
+    def retired(self) -> List[InstructionTrace]:
+        """Traces of instructions that retired, in retirement order."""
+        return sorted((t for t in self.traces.values()
+                       if t.retire_cycle is not None),
+                      key=lambda t: t.seq)
+
+    def squashed(self) -> List[InstructionTrace]:
+        return sorted((t for t in self.traces.values()
+                       if t.squash_cycle is not None),
+                      key=lambda t: t.seq)
+
+    def of(self, seq: int) -> Optional[InstructionTrace]:
+        return self.traces.get(seq)
+
+    def latency_of(self, seq: int) -> Optional[int]:
+        """Dispatch-to-retire latency in cycles, if the inst retired."""
+        trace = self.traces.get(seq)
+        if trace is None or trace.retire_cycle is None:
+            return None
+        return trace.retire_cycle - trace.dispatch_cycle
+
+    # -- rendering ----------------------------------------------------------------
+
+    HEADER = (f"{'seq':<6s} {'pc':<8s} {'instruction':<26s} "
+              f"{'D':<5s} {'I':<5s} {'C':<5s} {'R':<5s} events")
+
+    def format(self, first: int = 0, count: int = 50,
+               include_squashed: bool = True) -> str:
+        """Render a window of the trace as a timeline table."""
+        rows = [self.HEADER, "-" * len(self.HEADER)]
+        shown = 0
+        for seq in sorted(self.traces):
+            if seq < first:
+                continue
+            trace = self.traces[seq]
+            if not include_squashed and trace.squash_cycle is not None:
+                continue
+            rows.append(trace.format_row())
+            shown += 1
+            if shown >= count:
+                break
+        return "\n".join(rows)
+
+
+def trace_run(processor: Processor,
+              max_instructions: int = 100_000) -> PipeTracer:
+    """Attach a tracer, run the processor to completion, return the
+    tracer (convenience for scripts and tests)."""
+    tracer = PipeTracer(processor, max_instructions=max_instructions)
+    processor.run()
+    return tracer

@@ -1,0 +1,77 @@
+"""Register renaming with per-instruction RAT checkpoints.
+
+The paper's processors use Alpha-21264-style renaming with one checkpoint
+per ROB entry (Figure 4 lists checkpoints == ROB size), enabling recovery
+to an arbitrary instruction boundary.  We snapshot the 32-entry register
+alias table before every rename; a flush restores the snapshot of the first
+squashed instruction and returns its physical register to the free list.
+
+Physical register 0 is permanently mapped to architectural r0 (always
+zero, always ready).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa.instructions import NUM_REGS
+
+
+class RenameError(Exception):
+    """Out of physical registers (dispatch should have stalled)."""
+
+
+class RenameTable:
+    """RAT + physical register file + free list."""
+
+    def __init__(self, num_phys: int):
+        if num_phys < NUM_REGS + 1:
+            raise ValueError("need at least one phys reg per arch reg")
+        self.num_phys = num_phys
+        # arch reg i initially maps to phys i; phys 0 is the r0 anchor.
+        self.rat: List[int] = list(range(NUM_REGS))
+        self.values: List[int] = [0] * num_phys
+        self.ready: List[bool] = [True] * NUM_REGS + \
+            [False] * (num_phys - NUM_REGS)
+        self._free: List[int] = list(range(NUM_REGS, num_phys))
+
+    # -- allocation ------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def snapshot(self) -> List[int]:
+        return self.rat[:]
+
+    def restore(self, snap: List[int]) -> None:
+        self.rat[:] = snap
+
+    def lookup(self, arch: int) -> int:
+        return self.rat[arch]
+
+    def allocate(self, arch: int) -> int:
+        """Map ``arch`` to a fresh physical register; returns its index."""
+        if not self._free:
+            raise RenameError("physical register file exhausted")
+        phys = self._free.pop()
+        self.ready[phys] = False
+        self.rat[arch] = phys
+        return phys
+
+    def release(self, phys: int) -> None:
+        """Return a physical register to the free list."""
+        self.ready[phys] = False
+        self._free.append(phys)
+
+    # -- values ----------------------------------------------------------------
+
+    def write(self, phys: int, value: int) -> None:
+        self.values[phys] = value
+        self.ready[phys] = True
+
+    def read(self, phys: int) -> int:
+        return self.values[phys]
+
+    def is_ready(self, phys: int) -> bool:
+        return self.ready[phys]

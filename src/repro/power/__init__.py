@@ -1,0 +1,5 @@
+"""Dynamic-energy accounting."""
+
+from .energy import EnergyModel
+
+__all__ = ["EnergyModel"]

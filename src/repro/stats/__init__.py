@@ -1,0 +1,5 @@
+"""Simulation statistics."""
+
+from .counters import Counters
+
+__all__ = ["Counters"]

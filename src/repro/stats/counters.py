@@ -1,0 +1,56 @@
+"""Lightweight counter registry shared by every simulator component."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A named-counter bag with safe rate computation.
+
+    Components increment counters by name (``counters.incr("sfc_conflicts")``)
+    and the harness reads them back for reports.  Missing counters read as
+    zero, so report code never needs existence checks.
+    """
+
+    def __init__(self):
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        self._values[name] = value
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def rate(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` with zero-denominator safety."""
+        denom = self.get(denominator)
+        if not denom:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def merge(self, other: "Counters") -> None:
+        """Add every counter from ``other`` into this registry."""
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(
+            self._values.items()))
+        return f"Counters({inner})"

@@ -1,0 +1,79 @@
+"""Human-readable reports for simulation results."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def format_report(result) -> str:
+    """Render a :class:`~repro.pipeline.processor.SimResult` as a
+    sectioned text report (used by the CLI and the examples)."""
+    c = result.counters
+    lines: List[str] = []
+
+    def section(title: str) -> None:
+        lines.append("")
+        lines.append(title)
+        lines.append("-" * len(title))
+
+    def row(label: str, value, fmt: str = "{:.0f}") -> None:
+        if isinstance(value, float):
+            value = fmt.format(value)
+        lines.append(f"  {label:<30} {value}")
+
+    lines.append(f"{result.program_name} on {result.config.name}")
+    lines.append("=" * len(lines[0]))
+
+    section("performance")
+    row("IPC", result.ipc, "{:.3f}")
+    row("cycles", result.cycles)
+    row("instructions retired", result.instructions)
+    row("idle cycles skipped", c.get("idle_cycles_skipped"))
+
+    section("front end")
+    row("branch predictions", c.get("branch_predictions"))
+    row("branch mispredictions", c.get("branch_mispredictions"))
+    row("mispredict flushes", c.get("branch_mispredict_flushes"))
+    row("squashed instructions", c.get("squashed_instructions"))
+    row("dispatch stalls (ROB full)", c.get("dispatch_stalls_rob"))
+    row("dispatch stalls (window)", c.get("dispatch_stalls_sched"))
+    row("dispatch stalls (LQ/SQ)",
+        c.get("dispatch_stalls_lq") + c.get("dispatch_stalls_sq"))
+
+    section("memory subsystem")
+    row("retired loads", c.get("retired_loads"))
+    row("retired stores", c.get("retired_stores"))
+    if c.get("sfc_load_lookups"):
+        row("SFC forwards", c.get("sfc_forwards"))
+        row("SFC partial-match replays", c.get("load_replays_sfc_partial"))
+        row("SFC corruption replays", c.get("load_replays_sfc_corrupt"))
+        row("SFC set-conflict replays",
+            c.get("store_replays_sfc_conflict"))
+        row("MDT set-conflict replays", c.get("load_replays_mdt_conflict")
+            + c.get("store_replays_mdt_conflict"))
+        row("ROB-head bypasses", c.get("rob_head_bypasses"))
+    if c.get("lsq_load_searches"):
+        row("LSQ full forwards", c.get("lsq_full_forwards"))
+        row("SQ entries CAM-searched", c.get("lsq_sq_entries_searched"))
+        row("LQ entries CAM-searched", c.get("lsq_lq_entries_searched"))
+    if c.get("lsq_retire_replays"):
+        row("retirement re-executions", c.get("lsq_retire_replays"))
+        row("late violations", c.get("retire_replay_violations"))
+
+    section("ordering violations")
+    row("true-dependence flushes", c.get("violation_flushes_true")
+        + c.get("lsq_true_violations"))
+    row("anti-dependence flushes", c.get("violation_flushes_anti"))
+    row("output-dependence flushes", c.get("violation_flushes_output"))
+    row("predictor trainings", c.get("pred_trainings"))
+    row("predicted deps enforced", c.get("pred_consumes"))
+
+    section("caches")
+    for level in ("l1i", "l1d", "l2"):
+        accesses = c.get(f"{level}_accesses")
+        misses = c.get(f"{level}_misses")
+        rate = 100.0 * misses / accesses if accesses else 0.0
+        row(f"{level} accesses / misses",
+            f"{accesses:.0f} / {misses:.0f}  ({rate:.1f}%)")
+
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Synthetic SPEC-2000-styled workloads and a random program generator."""
+
+from .builder import KernelBuilder
+from .randprog import RandomProgramBuilder, random_program
+from .suites import (
+    ALL_BENCHMARKS,
+    FIGURE5_BENCHMARKS,
+    FIGURE6_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    build,
+    is_fp,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "FIGURE5_BENCHMARKS",
+    "FIGURE6_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "KernelBuilder",
+    "RandomProgramBuilder",
+    "build",
+    "is_fp",
+    "random_program",
+]

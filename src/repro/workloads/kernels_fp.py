@@ -1,0 +1,299 @@
+"""SPECfp-2000-styled kernels.
+
+FP arithmetic is modelled with the ISA's FP-latency opcodes (``fadd``,
+``fmul``, ...): integer semantics, floating-point latencies.  What matters
+for the paper's evaluation is the *memory* behaviour:
+
+* ``ammp``/``equake`` -- indirected read-modify-write accumulation behind
+  data-dependent branches: the two benchmarks the paper singles out
+  (together with vpr_route) for ~20% SFC-corruption load replays;
+* ``mesa`` -- z-buffer test-and-set with frequent silent stores: the
+  baseline benchmark whose output-dependence violations make it an ENF
+  winner in Figure 5;
+* ``applu``/``apsi``/``mgrid``/``swim`` -- regular stencil/streaming
+  sweeps: well-predicted, well-behaved, the specfp backbone on which the
+  SFC/MDT slightly beats the 120x80 LSQ in Figure 6;
+* ``art`` -- dot-product streaming with an accumulation tail.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from .builder import KernelBuilder
+
+# Base addresses are staggered (distinct offsets modulo the MDT/SFC index
+# range) so that unrelated regions do not collide in the address-indexed
+# structures; only kernels that *intend* set aliasing (bzip2, mcf) use
+# aligned strides.
+_ATOMS = 0x0100_0000
+_FORCES = 0x0110_0200
+_PAIRS = 0x0120_0400
+_GRID_A = 0x0130_0600
+_GRID_B = 0x0140_0800
+_GRID_C = 0x0150_0A00
+_SPARSE = 0x0160_0C00
+
+
+def build_ammp(scale: int = 20_000) -> Program:
+    """Molecular-dynamics neighbour forces: indirected RMW accumulation."""
+    k = KernelBuilder("ammp", seed=31)
+    a = k.asm
+    atoms = 128
+    pairs = 512
+    k.random_words(_ATOMS, atoms, width=8, lo=1, hi=(1 << 15) - 1)
+    k.random_words(_FORCES, atoms, width=8, lo=0, hi=1 << 10)
+    # Pair list: packed (i, j) atom indices.
+    pair_words = [(k.rng.randrange(atoms) << 32) | k.rng.randrange(atoms)
+                  for _ in range(pairs)]
+    a.data_words(_PAIRS, pair_words, 8)
+    a.li("r20", _ATOMS)
+    a.li("r21", _FORCES)
+    a.li("r22", _PAIRS)
+    a.li("r28", 0)
+    iterations = max(1, scale // 26)
+
+    def body() -> None:
+        a.andi("r14", "r17", (pairs - 1) * 8)
+        a.add("r14", "r14", "r22")
+        a.ld("r1", "r14", 0)                # packed pair
+        a.andi("r2", "r1", (atoms - 1))     # j
+        a.srli("r3", "r1", 32)
+        a.andi("r3", "r3", (atoms - 1))     # i
+        a.slli("r2", "r2", 3)
+        a.slli("r3", "r3", 3)
+        a.add("r4", "r2", "r20")
+        a.add("r5", "r3", "r20")
+        a.ld("r6", "r4", 0)                 # position j
+        a.ld("r7", "r5", 0)                 # position i
+        a.fsub("r8", "r7", "r6")            # distance
+        a.fmul("r9", "r8", "r8")            # r^2
+        cutoff = k.fresh_label("cutoff")
+        a.slti("r10", "r9", 1 << 28)
+        a.beq("r10", "r0", cutoff)          # outside cutoff? (data-dep)
+        a.add("r11", "r2", "r21")
+        a.add("r12", "r3", "r21")
+        a.ld("r13", "r11", 0)               # force[j] read-modify-write
+        a.fadd("r13", "r13", "r9")
+        a.sd("r13", "r11", 0)
+        a.ld("r13", "r12", 0)               # force[i] read-modify-write
+        a.fsub("r13", "r13", "r9")
+        a.sd("r13", "r12", 0)
+        a.label(cutoff)
+        a.add("r28", "r28", "r9")
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def _stencil_kernel(name: str, seed: int, scale: int, span: int,
+                    second_stride: int, chain: int) -> Program:
+    """Shared regular-sweep shape for applu / apsi / mgrid / swim.
+
+    ``span`` is the grid size in words; the sweep revisits (re-stores)
+    each word every ``span`` iterations.  This is the paper's key
+    window-depth effect: with a 128-entry window (~7 iterations in
+    flight) same-word stores from consecutive sweeps never coexist, but a
+    1024-entry window holds more than one full sweep, so the slow
+    per-sweep boundary store (a long divide) races the next sweep's fast
+    store to the same word -- output-dependence violations that appear
+    *only* on the aggressive core, which is why enforcing predicted anti
+    and output dependences matters most there (Section 3.2's +43% specfp).
+
+    ``second_stride`` is the second neighbour offset in elements;
+    ``chain`` is the FP-chain depth per point.
+    """
+    k = KernelBuilder(name, seed=seed)
+    a = k.asm
+    span_shift = span.bit_length() - 1
+    k.random_words(_GRID_A, span + second_stride + 2, width=8,
+                   lo=0, hi=1 << 24)
+    k.random_words(_GRID_B, span + second_stride + 2, width=8,
+                   lo=0, hi=1 << 24)
+    a.li("r20", _GRID_A)
+    a.li("r21", _GRID_B)
+    a.li("r22", _GRID_C)                        # boundary-condition table
+    a.li("r28", 0)
+    iterations = max(1, scale // (14 + 2 * chain))
+
+    def body() -> None:
+        a.andi("r14", "r17", span - 1)          # grid point of this sweep
+        a.slli("r14", "r14", 3)
+        a.add("r15", "r14", "r20")
+        a.ld("r1", "r15", 0)                    # centre
+        a.ld("r2", "r15", 8)                    # east
+        a.ld("r3", "r15", second_stride * 8)    # south
+        a.fadd("r4", "r1", "r2")
+        a.fadd("r4", "r4", "r3")
+        for _ in range(chain):
+            a.fmul("r4", "r4", "r1")
+            a.fadd("r4", "r4", "r2")
+        a.add("r5", "r14", "r21")
+        # One boundary point per sweep folds in a boundary condition
+        # loaded from a cold table (a fresh cache line per sweep, so an
+        # L2-latency load).  The boundary rotates with the sweep number,
+        # so the next sweep stores the same word through the fast path:
+        # when both sweeps fit in the instruction window the late slow
+        # store races the younger fast store -- output violations that
+        # exist only on the deep-window core (Section 3.2).
+        a.srli("r6", "r17", span_shift)
+        a.xor("r7", "r6", "r17")
+        a.andi("r7", "r7", span - 1)
+        interior = k.fresh_label("interior")
+        done = k.fresh_label("stored")
+        a.bne("r7", "r0", interior)
+        a.slli("r8", "r6", 7)                   # one cold line per sweep
+        a.add("r8", "r8", "r22")
+        a.ld("r9", "r8", 0)                     # boundary condition (cold)
+        a.fadd("r9", "r9", "r4")
+        a.sd("r9", "r5", 0)                     # slow boundary store
+        a.j(done)
+        a.label(interior)
+        a.sd("r4", "r5", 0)                     # fast interior store
+        a.label(done)
+        a.add("r28", "r28", "r4")
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_applu(scale: int = 20_000) -> Program:
+    """SSOR-style sweep with deep FP chains."""
+    return _stencil_kernel("applu", seed=32, scale=scale, span=16,
+                           second_stride=32, chain=3)
+
+
+def build_apsi(scale: int = 20_000) -> Program:
+    """Mesoscale-model sweep with a long second stride."""
+    return _stencil_kernel("apsi", seed=33, scale=scale, span=32,
+                           second_stride=128, chain=2)
+
+
+def build_art(scale: int = 20_000) -> Program:
+    """Adaptive-resonance F1 pass: streaming dot products."""
+    k = KernelBuilder("art", seed=34)
+    a = k.asm
+    weights = 1024
+    k.random_words(_GRID_A, weights, width=8, lo=0, hi=1 << 16)
+    k.random_words(_GRID_B, 64, width=8, lo=0, hi=1 << 16)
+    a.li("r20", _GRID_A)
+    a.li("r21", _GRID_B)
+    a.li("r22", _GRID_C)
+    a.li("r28", 0)
+    iterations = max(1, scale // 13)
+
+    def body() -> None:
+        a.andi("r14", "r17", (weights - 1) * 8)
+        a.add("r1", "r14", "r20")
+        a.ld("r2", "r1", 0)                 # weight
+        a.andi("r15", "r17", 63 * 8)
+        a.add("r3", "r15", "r21")
+        a.ld("r4", "r3", 0)                 # input activation
+        a.fmul("r5", "r2", "r4")
+        a.fadd("r28", "r28", "r5")          # accumulate
+        a.andi("r6", "r17", 63 * 8)
+        a.add("r6", "r6", "r22")
+        a.sd("r28", "r6", 0)                # write output neuron
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_equake(scale: int = 20_000) -> Program:
+    """Sparse mat-vec with scatter accumulation (corruption-prone)."""
+    k = KernelBuilder("equake", seed=35)
+    a = k.asm
+    nonzeros = 1024
+    nodes = 64
+    k.random_words(_SPARSE, nonzeros, width=8, lo=1, hi=1 << 16)  # values
+    a.data_words(_SPARSE + 0x10200,
+                 [k.rng.randrange(nodes) for _ in range(nonzeros)], 8)
+    k.random_words(_GRID_A, nodes, width=8, lo=0, hi=1 << 16)     # x
+    k.random_words(_GRID_B, nodes, width=8, lo=0, hi=1 << 10)     # y
+    a.li("r20", _SPARSE)
+    a.li("r21", _SPARSE + 0x10200)
+    a.li("r22", _GRID_A)
+    a.li("r23", _GRID_B)
+    a.li("r28", 0)
+    iterations = max(1, scale // 20)
+
+    def body() -> None:
+        a.andi("r14", "r17", (nonzeros - 1) * 8)
+        a.add("r1", "r14", "r20")
+        a.ld("r2", "r1", 0)                 # matrix value
+        a.add("r3", "r14", "r21")
+        a.ld("r4", "r3", 0)                 # column index
+        a.slli("r5", "r4", 3)
+        a.add("r6", "r5", "r22")
+        a.ld("r7", "r6", 0)                 # x[col]
+        a.fmul("r8", "r2", "r7")
+        # Row advances irregularly: a data-dependent branch decides
+        # whether this contribution closes the row (partial flushes while
+        # scatter stores are in flight -> SFC corruptions).
+        a.andi("r9", "r2", 3)
+        same = k.fresh_label("same_row")
+        a.bne("r9", "r0", same)
+        a.addi("r28", "r28", 1)
+        a.label(same)
+        a.andi("r10", "r28", (nodes - 1))
+        a.slli("r10", "r10", 3)
+        a.add("r11", "r10", "r23")
+        a.ld("r12", "r11", 0)               # y[row] read-modify-write
+        a.fadd("r12", "r12", "r8")
+        a.sd("r12", "r11", 0)
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_mesa(scale: int = 20_000) -> Program:
+    """Z-buffered rasterisation: depth test-and-set with silent stores."""
+    k = KernelBuilder("mesa", seed=36)
+    a = k.asm
+    pixels = 512
+    # Shallow depth range: incoming fragments often carry a depth equal
+    # to the stored one (silent stores), and the test is unpredictable.
+    k.random_words(_GRID_A, pixels, width=8, lo=0, hi=7)   # z-buffer
+    k.random_words(_GRID_B, pixels, width=8)               # colour buffer
+    a.li("r20", _GRID_A)
+    a.li("r21", _GRID_B)
+    a.li("r1", 123456789)                   # xorshift state
+    a.li("r28", 0)
+    iterations = max(1, scale // 19)
+
+    def body() -> None:
+        a.slli("r2", "r1", 13)
+        a.xor("r1", "r1", "r2")
+        a.srli("r2", "r1", 7)
+        a.xor("r1", "r1", "r2")
+        a.andi("r3", "r1", (pixels - 1) * 8)    # pixel address offset
+        a.andi("r4", "r1", 7)                   # fragment depth (0..7)
+        a.add("r5", "r3", "r20")
+        a.ld("r6", "r5", 0)                     # stored depth
+        fail = k.fresh_label("zfail")
+        a.blt("r6", "r4", fail)                 # depth test (data-dep)
+        a.sd("r4", "r5", 0)          # depth write -- often silent (z==z')
+        a.add("r7", "r3", "r21")
+        a.fmul("r8", "r4", "r1")                # shade
+        a.sd("r8", "r7", 0)                     # colour write
+        a.label(fail)
+        a.addi("r28", "r28", 1)
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_mgrid(scale: int = 20_000) -> Program:
+    """Multigrid restriction sweep (regular, unit + plane strides)."""
+    return _stencil_kernel("mgrid", seed=37, scale=scale, span=64,
+                           second_stride=64, chain=1)
+
+
+def build_swim(scale: int = 20_000) -> Program:
+    """Shallow-water 2-D stencil (streaming, highly regular)."""
+    return _stencil_kernel("swim", seed=38, scale=scale, span=32,
+                           second_stride=96, chain=2)

@@ -1,0 +1,564 @@
+"""SPECint-2000-styled integer kernels.
+
+Each kernel reproduces the *memory behaviour* that drives its namesake's
+results in the paper (see DESIGN.md):
+
+* ``gzip`` -- LZ77 hash-chain updates: repeated stores to the same hash
+  head entries (out-of-order same-address stores -> output-dependence
+  violations; the paper singles out gzip as an ENF winner).
+* ``bzip2`` -- block transform walking a matrix column at a 4 KiB stride:
+  every store maps to one SFC set, so in-flight stores overwhelm a 2-way
+  SFC when the window is deep (the paper's ">50% of dynamic stores
+  replayed" pathology).
+* ``mcf`` -- network-simplex arc scan at a 64 KiB stride: every load maps
+  to one MDT set (the paper's ">16% of dynamic loads replayed" pathology).
+* ``vpr_route`` -- maze-router cost updates behind unpredictable branches:
+  frequent partial flushes over dense in-flight store state -> high SFC
+  corruption replay rates, plus slow/fast store pairs to the same cell ->
+  output violations.
+* the rest model their namesakes' broad character (branchy dispatch for
+  gcc/perlbmk, stack traffic for parser, annealing swaps for twolf and
+  vpr_place, bitboard arithmetic for crafty, multiword arithmetic for gap,
+  object-field traffic for vortex).
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from .builder import KernelBuilder
+
+#: Base addresses of kernel data segments, clear of the code image.
+#: Staggered modulo the MDT/SFC index range so unrelated regions do not
+#: alias; _MATRIX stays 64 KiB-aligned because bzip2/mcf rely on aligned
+#: strides for their intended set-conflict pathologies.
+_TEXT = 0x0010_0200
+_TABLE = 0x0020_0400
+_MATRIX = 0x0040_0000
+_STACK = 0x0060_0600
+_GRID = 0x0070_0800
+_AUX = 0x0080_0A00
+
+
+def build_gzip(scale: int = 20_000) -> Program:
+    """LZ77-style hash-chain compressor inner loop."""
+    k = KernelBuilder("gzip", seed=11)
+    a = k.asm
+    # Low-entropy text: hash values recur within the window, so head-table
+    # entries are rewritten while older stores are still in flight.
+    k.asm.data(_TEXT, bytes(k.rng.choice((65, 97))
+                            for _ in range(4096)))
+    k.random_words(_TABLE, 256, width=8, lo=0, hi=4000)
+    a.li("r20", _TEXT)
+    a.li("r21", _TABLE)
+    a.li("r22", _AUX)           # lazy-match history (cold region)
+    a.li("r28", 0)              # match-length heuristic accumulator
+    iterations = max(1, scale // 16)
+
+    def body() -> None:
+        a.andi("r14", "r17", 0xFFF)
+        a.add("r14", "r14", "r20")
+        a.lbu("r1", "r14", 0)               # text[i]
+        a.lbu("r2", "r14", 1)               # text[i+1]
+        a.slli("r3", "r1", 5)
+        a.add("r3", "r3", "r1")             # r1 * 33
+        a.add("r3", "r3", "r2")
+        a.andi("r3", "r3", 0xFF)            # hash
+        a.slli("r15", "r3", 3)
+        a.add("r15", "r15", "r21")
+        a.ld("r4", "r15", 0)                # chain head (previous pos)
+        a.andi("r5", "r17", 7)
+        a.xori("r5", "r5", 1)
+        skip = k.fresh_label("slow")
+        done = k.fresh_label("hash")
+        a.bne("r5", "r0", skip)
+        # Every 8th iteration takes the lazy-match path: the head update data
+        # waits on a cold history read (a fresh cache line per visit), so
+        # the (older) slow store completes after the next (younger) fast
+        # store to a recurring hash bucket -- the output-violation shape
+        # that makes gzip an ENF winner in the paper.
+        a.slli("r6", "r17", 6)
+        a.andi("r6", "r6", 0xFFF8)
+        a.add("r6", "r6", "r22")
+        a.ld("r6", "r6", 0)                 # cold lazy-match history
+        a.add("r6", "r6", "r17")
+        a.andi("r6", "r6", 0xFFF)
+        a.sd("r6", "r15", 0)
+        a.j(done)
+        a.label(skip)
+        a.sd("r17", "r15", 0)               # fast head update
+        a.label(done)
+        a.sub("r7", "r17", "r4")            # distance to previous match
+        a.add("r28", "r28", "r7")
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_bzip2(scale: int = 20_000) -> Program:
+    """Block-sorting transform writing a matrix column (4 KiB stride).
+
+    The output stream walks a column of a matrix whose rows are exactly
+    4096 bytes: the SFC set index is ``(addr >> 3) & (sets - 1)``, so with
+    128- or 512-set SFCs the whole column maps to a couple of sets.  How
+    many of those stores are simultaneously in flight -- hence whether a
+    2-way set overflows -- is set by the window depth: roughly 5 stores in
+    the 128-entry baseline (mild), roughly 40 in the 1024-entry aggressive
+    core (the paper's ">50% of stores replayed").  The column is written,
+    never re-read, so no ordering violations (and no predictor
+    serialisation) dilute the structural-conflict effect.
+    """
+    k = KernelBuilder("bzip2", seed=12)
+    a = k.asm
+    rows = 16
+    stream_words = 1 << 15                  # 256 KiB source block
+    k.random_words(_TEXT, stream_words, width=8)
+    a.li("r20", _MATRIX)
+    a.li("r21", _TEXT)
+    a.li("r28", 0)
+    iterations = max(1, scale // 13)
+
+    def body() -> None:
+        # Streaming source read: misses the 8 KiB L1 every 8th word, so
+        # retirement lags behind completion and the window fills with
+        # completed-but-unretired column stores (~5 in the baseline
+        # window, ~70 in the aggressive one).
+        a.slli("r14", "r17", 3)
+        a.andi("r14", "r14", (stream_words - 1) * 8)
+        a.add("r14", "r14", "r21")
+        a.ld("r1", "r14", 0)                # source word
+        a.add("r28", "r28", "r1")           # block checksum
+        # Rank computed from the index alone: the store's data never
+        # waits on the missing load, so stores complete far ahead of
+        # retirement.
+        a.xor("r2", "r17", "r16")
+        a.slli("r3", "r2", 1)
+        a.add("r2", "r2", "r3")
+        # Column store at a 4 KiB stride: row = i % 32, plus a slowly
+        # advancing word slot keeping in-window addresses distinct.
+        a.andi("r15", "r17", rows - 1)
+        a.slli("r15", "r15", 12)
+        a.srli("r4", "r17", 5)              # i / 32
+        a.andi("r4", "r4", 0x78)            # 16 word slots, 8B apart
+        a.add("r15", "r15", "r4")
+        a.add("r15", "r15", "r20")
+        a.sd("r2", "r15", 0)
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_crafty(scale: int = 20_000) -> Program:
+    """Bitboard move generation: shift/mask chains over a small board."""
+    k = KernelBuilder("crafty", seed=13)
+    a = k.asm
+    k.random_words(_TABLE, 64, width=8)
+    a.li("r20", _TABLE)
+    a.li("r28", 0)
+    iterations = max(1, scale // 18)
+
+    def body() -> None:
+        a.andi("r14", "r17", 63)
+        a.slli("r14", "r14", 3)
+        a.add("r14", "r14", "r20")
+        a.ld("r1", "r14", 0)                # occupancy bitboard
+        a.slli("r2", "r1", 9)               # knight-ish attack spreads
+        a.srli("r3", "r1", 7)
+        a.or_("r4", "r2", "r3")
+        a.slli("r5", "r1", 17)
+        a.srli("r6", "r1", 15)
+        a.or_("r7", "r5", "r6")
+        a.xor("r8", "r4", "r7")
+        a.and_("r9", "r8", "r1")
+        skip = k.fresh_label("quiet")
+        a.beq("r9", "r0", skip)             # any capture? (data-dependent)
+        a.add("r28", "r28", "r9")
+        a.sd("r9", "r14", 0)                # update board
+        a.label(skip)
+        a.srai("r10", "r8", 3)
+        a.add("r28", "r28", "r10")
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_gap(scale: int = 20_000) -> Program:
+    """Multiword (bignum) addition with carry propagation."""
+    k = KernelBuilder("gap", seed=14)
+    a = k.asm
+    words = 64
+    k.random_words(_TABLE, words, width=8)
+    k.random_words(_TABLE + 0x1000, words, width=8)
+    a.li("r20", _TABLE)                     # operand A
+    a.li("r21", _TABLE + 0x1000)            # operand B
+    a.li("r22", _TABLE + 0x2000)            # result C
+    a.li("r28", 0)                          # carry
+    iterations = max(1, scale // 14)
+
+    def body() -> None:
+        a.andi("r14", "r17", (words - 1) * 8)
+        a.add("r1", "r14", "r20")
+        a.add("r2", "r14", "r21")
+        a.add("r3", "r14", "r22")
+        a.ld("r4", "r1", 0)
+        a.ld("r5", "r2", 0)
+        a.add("r6", "r4", "r5")
+        a.add("r6", "r6", "r28")            # + carry (serial chain)
+        a.sltu("r28", "r6", "r4")           # carry out
+        a.sd("r6", "r3", 0)
+        a.xor("r7", "r6", "r4")
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_gcc(scale: int = 20_000) -> Program:
+    """Token-stream dispatch: a branch tree per token, symbol-table traffic."""
+    k = KernelBuilder("gcc", seed=15)
+    a = k.asm
+    k.asm.data(_TEXT, bytes(k.rng.randrange(8) for _ in range(4096)))
+    k.random_words(_TABLE, 64, width=8, lo=0, hi=1 << 20)
+    a.li("r20", _TEXT)
+    a.li("r21", _TABLE)
+    a.li("r28", 0)
+    iterations = max(1, scale // 17)
+
+    def body() -> None:
+        a.andi("r14", "r17", 0xFFF)
+        a.add("r14", "r14", "r20")
+        a.lbu("r1", "r14", 0)               # token
+        ident = k.fresh_label("ident")
+        lit = k.fresh_label("lit")
+        out = k.fresh_label("out")
+        a.slti("r2", "r1", 4)
+        a.bne("r2", "r0", ident)            # token < 4: identifier
+        a.slti("r2", "r1", 6)
+        a.bne("r2", "r0", lit)              # token < 6: literal
+        a.addi("r28", "r28", 7)             # punctuation
+        a.j(out)
+        a.label(ident)
+        a.slli("r3", "r1", 3)
+        a.add("r3", "r3", "r21")
+        a.ld("r4", "r3", 0)                 # symbol lookup
+        a.add("r4", "r4", "r1")
+        a.sd("r4", "r3", 0)                 # reference count update
+        a.j(out)
+        a.label(lit)
+        a.mul("r5", "r1", "r17")            # constant folding
+        a.add("r28", "r28", "r5")
+        a.label(out)
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_mcf(scale: int = 20_000) -> Program:
+    """Network-simplex arc scan whose node lookups stride by 64 KiB.
+
+    Most loads stream through the arc array (well distributed over MDT
+    sets), but each iteration also prices one *node*, and node records sit
+    exactly 64 KiB apart: with an 8-byte-granular MDT of 4K or 8K sets the
+    node loads all fall into a handful of sets.  A 128-entry window keeps
+    ~2 of them in flight (no conflict); a 1024-entry window keeps ~15+ in
+    flight, overrunning the 2-way sets -- the paper's ">16% of loads
+    replayed" pathology.  The node region is read-only, so no ordering
+    violations dilute the effect.
+    """
+    k = KernelBuilder("mcf", seed=16)
+    a = k.asm
+    nodes = 8
+    stride = 65536
+    stream_words = 1 << 15                  # 256 KiB arc array
+    for node in range(nodes):
+        k.random_words(_MATRIX + node * stride, 64, width=8, lo=1, hi=1000)
+    k.random_words(_TABLE, stream_words, width=8, lo=1, hi=1000)
+    a.li("r20", _MATRIX)
+    a.li("r21", _TABLE)
+    a.li("r28", 0)
+    iterations = max(1, scale // 18)
+
+    def body() -> None:
+        # Streaming arc scan: L1 misses keep retirement behind completion
+        # so the window fills with in-flight node loads.
+        a.slli("r14", "r17", 3)
+        a.andi("r14", "r14", (stream_words - 1) * 8)
+        a.add("r14", "r14", "r21")
+        a.ld("r1", "r14", 0)                # arc cost (well distributed)
+        a.mul("r3", "r1", "r17")            # reduced cost
+        a.srai("r4", "r3", 6)
+        a.add("r28", "r28", "r4")
+        # Node potential lookup on every 4th arc: at a 64 KiB stride all
+        # node addresses share one MDT set, but the 4-iteration spacing
+        # keeps only ~1 in flight in the 128-entry window versus ~12 in
+        # the 1024-entry window.
+        a.andi("r5", "r17", 3)
+        skip = k.fresh_label("no_node")
+        a.bne("r5", "r0", skip)
+        a.srli("r6", "r17", 2)              # node scan counter
+        a.andi("r7", "r6", nodes - 1)
+        a.slli("r7", "r7", 16)
+        a.srli("r8", "r6", 3)
+        a.andi("r8", "r8", 0x1F8)           # 64 word slots
+        a.add("r7", "r7", "r8")
+        a.add("r7", "r7", "r20")
+        a.ld("r9", "r7", 0)                 # node potential (hot MDT set)
+        a.sub("r10", "r9", "r1")
+        a.add("r28", "r28", "r10")
+        a.label(skip)
+        # Pricing bookkeeping pads the body.
+        a.xor("r11", "r4", "r3")
+        a.slli("r12", "r11", 1)
+        a.add("r13", "r12", "r11")
+        a.add("r28", "r28", "r13")
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_parser(scale: int = 20_000) -> Program:
+    """Link-grammar parse stack: push/pop traffic with byte compares."""
+    k = KernelBuilder("parser", seed=17)
+    a = k.asm
+    k.asm.data(_TEXT, bytes(k.rng.randrange(26) + 97
+                            for _ in range(2048)))
+    a.li("r20", _TEXT)
+    a.li("r21", _STACK + 512)               # stack pointer (grows down)
+    a.li("r28", 0)
+    iterations = max(1, scale // 19)
+
+    def body() -> None:
+        a.andi("r14", "r17", 0x7FF)
+        a.add("r14", "r14", "r20")
+        a.lbu("r1", "r14", 0)               # word character
+        a.lbu("r2", "r14", 1)
+        push = k.fresh_label("push")
+        out = k.fresh_label("out")
+        a.blt("r1", "r2", push)             # open link: push
+        a.ld("r3", "r21", 0)                # close link: pop + match
+        a.addi("r21", "r21", 8)
+        a.sub("r4", "r3", "r1")
+        a.add("r28", "r28", "r4")
+        a.j(out)
+        a.label(push)
+        a.addi("r21", "r21", -8)
+        a.sd("r1", "r21", 0)                # push (load follows soon)
+        a.label(out)
+        a.andi("r5", "r21", 0x1FF)          # keep the stack in its page
+        a.li("r15", _STACK)
+        a.add("r21", "r15", "r5")
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_perlbmk(scale: int = 20_000) -> Program:
+    """Bytecode-interpreter dispatch over an operand stack."""
+    k = KernelBuilder("perlbmk", seed=18)
+    a = k.asm
+    k.asm.data(_TEXT, bytes(k.rng.randrange(4) for _ in range(4096)))
+    k.random_words(_TABLE, 16, width=8, lo=0, hi=1000)   # lexical pad
+    a.li("r20", _TEXT)
+    a.li("r21", _STACK)
+    a.li("r22", _TABLE)
+    a.li("r23", 0)                          # stack depth
+    a.li("r28", 0)
+    iterations = max(1, scale // 20)
+
+    def body() -> None:
+        a.andi("r14", "r17", 0xFFF)
+        a.add("r14", "r14", "r20")
+        a.lbu("r1", "r14", 0)               # opcode
+        op_add = k.fresh_label("op_add")
+        op_load = k.fresh_label("op_load")
+        op_store = k.fresh_label("op_store")
+        out = k.fresh_label("dispatch_out")
+        a.beq("r1", "r0", op_add)
+        a.slti("r2", "r1", 2)
+        a.bne("r2", "r0", op_load)
+        a.slti("r2", "r1", 3)
+        a.bne("r2", "r0", op_store)
+        # push immediate
+        a.slli("r3", "r23", 3)
+        a.add("r3", "r3", "r21")
+        a.sd("r17", "r3", 0)
+        a.addi("r23", "r23", 1)
+        a.j(out)
+        a.label(op_add)                     # pop two, push sum
+        a.slli("r3", "r23", 3)
+        a.add("r3", "r3", "r21")
+        a.ld("r4", "r3", -8)
+        a.ld("r5", "r3", -16)
+        a.add("r6", "r4", "r5")
+        a.sd("r6", "r3", -16)
+        a.j(out)
+        a.label(op_load)                    # load pad variable, push
+        a.andi("r7", "r17", 0x78)
+        a.add("r7", "r7", "r22")
+        a.ld("r8", "r7", 0)
+        a.add("r28", "r28", "r8")
+        a.j(out)
+        a.label(op_store)                   # store accumulator to pad
+        a.andi("r7", "r17", 0x78)
+        a.add("r7", "r7", "r22")
+        a.sd("r28", "r7", 0)
+        a.label(out)
+        a.andi("r23", "r23", 15)            # bound the stack depth
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def _annealing_kernel(name: str, seed: int, scale: int, cells: int,
+                      accept_bias: int, body_padding: int) -> Program:
+    """Shared shape for twolf / vpr_place: conditional cell swaps.
+
+    ``accept_bias`` skews the accept branch (0 = 50/50, larger = more
+    predictable); ``body_padding`` adds ALU work per iteration.
+    """
+    k = KernelBuilder(name, seed=seed)
+    a = k.asm
+    k.random_words(_TABLE, cells, width=8, lo=0, hi=1 << 16)
+    a.li("r20", _TABLE)
+    a.li("r1", seed * 2654435761 % (1 << 32))   # LCG state
+    a.li("r28", 0)
+    iterations = max(1, scale // (20 + body_padding))
+
+    def body() -> None:
+        # LCG advance; pick two pseudo-random cells.
+        a.li("r15", 6364136223846793005)
+        a.mul("r1", "r1", "r15")
+        a.addi("r1", "r1", 1442695040888963407)
+        a.srli("r2", "r1", 33)
+        a.andi("r3", "r2", (cells - 1) * 8)
+        a.srli("r4", "r1", 17)
+        a.andi("r5", "r4", (cells - 1) * 8)
+        a.add("r3", "r3", "r20")
+        a.add("r5", "r5", "r20")
+        a.ld("r6", "r3", 0)                 # cell A
+        a.ld("r7", "r5", 0)                 # cell B
+        a.sub("r8", "r6", "r7")             # delta cost
+        for pad in range(body_padding):
+            a.xor("r9", "r8", "r2")
+            a.add("r8", "r8", "r9")
+            a.srai("r8", "r8", 1)
+        reject = k.fresh_label("reject")
+        a.addi("r9", "r8", accept_bias)
+        a.blt("r9", "r0", reject)           # accept? (data-dependent)
+        a.sd("r7", "r3", 0)                 # swap: two stores behind an
+        a.sd("r6", "r5", 0)                 # unpredictable branch
+        a.addi("r28", "r28", 1)
+        a.label(reject)
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_twolf(scale: int = 20_000) -> Program:
+    """Standard-cell placement annealing (conditional swaps)."""
+    return _annealing_kernel("twolf", seed=19, scale=scale, cells=256,
+                             accept_bias=0, body_padding=2)
+
+
+def build_vortex(scale: int = 20_000) -> Program:
+    """Object-database field traffic with one level of indirection."""
+    k = KernelBuilder("vortex", seed=20)
+    a = k.asm
+    objects = 128
+    obj_bytes = 64
+    base = _TABLE
+    # Field 0 of each object holds a reference to another object.
+    for index in range(objects):
+        ref = k.rng.randrange(objects)
+        fields = [base + ref * obj_bytes] + \
+            [k.rng.randint(0, 1 << 16) for _ in range(7)]
+        a.data_words(base + index * obj_bytes, fields, 8)
+    a.li("r20", base)
+    a.li("r28", 0)
+    iterations = max(1, scale // 17)
+
+    def body() -> None:
+        a.andi("r14", "r17", objects - 1)
+        a.slli("r14", "r14", 6)
+        a.add("r14", "r14", "r20")
+        a.ld("r1", "r14", 0)                # reference field
+        a.ld("r2", "r14", 8)                # attribute
+        a.ld("r3", "r1", 16)                # referenced object's attribute
+        a.add("r4", "r2", "r3")
+        a.sd("r4", "r14", 24)               # memoised result
+        a.addi("r5", "r2", 1)
+        a.sd("r5", "r14", 8)                # access count
+        a.add("r28", "r28", "r4")
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()
+
+
+def build_vpr_place(scale: int = 20_000) -> Program:
+    """FPGA placement annealing (more compute, more predictable accepts)."""
+    return _annealing_kernel("vpr_place", seed=21, scale=scale, cells=512,
+                             accept_bias=1 << 14, body_padding=4)
+
+
+def build_vpr_route(scale: int = 20_000) -> Program:
+    """Maze-router cost propagation: unpredictable branches over dense
+    in-flight store state (the paper's SFC-corruption pathology), plus
+    slow/fast store pairs to the same heap cell (output violations)."""
+    k = KernelBuilder("vpr_route", seed=22)
+    a = k.asm
+    cells = 1024
+    k.random_words(_GRID, cells, width=8, lo=0, hi=1 << 12)
+    k.random_words(_AUX, 64, width=8, lo=0, hi=1 << 12)
+    a.li("r20", _GRID)
+    a.li("r21", _AUX)                       # routing heap
+    a.li("r1", 88172645463325252)           # xorshift state
+    a.li("r28", 0)
+    iterations = max(1, scale // 24)
+
+    def body() -> None:
+        # Wavefront cell chosen pseudo-randomly.
+        a.slli("r2", "r1", 13)
+        a.xor("r1", "r1", "r2")
+        a.srli("r2", "r1", 7)
+        a.xor("r1", "r1", "r2")
+        a.andi("r3", "r1", (cells - 1) * 8)
+        a.add("r3", "r3", "r20")
+        a.ld("r4", "r3", 0)                 # this cell's cost
+        a.ld("r5", "r3", 8)                 # east neighbour
+        a.ld("r6", "r3", 256)               # south neighbour
+        better = k.fresh_label("better")
+        out = k.fresh_label("out")
+        a.add("r7", "r5", "r6")
+        a.srli("r7", "r7", 1)               # candidate cost
+        a.blt("r7", "r4", better)           # improve? (unpredictable)
+        a.addi("r28", "r28", 1)
+        a.j(out)
+        a.label(better)
+        a.sd("r7", "r3", 0)                 # relax the cell
+        # Heap decrease-key: read-modify-write of one of 16 buckets whose
+        # reuse distance (~16 accepted iterations) sits inside the
+        # aggressive window but beyond the baseline one.  After any
+        # partial flush the bucket's in-flight bytes are corruption-
+        # marked, so the read replays until the writer retires (often
+        # only via the ROB-head bypass) -- the paper's ~20%-of-loads
+        # corruption pathology, and the slow multiply-fed store racing a
+        # later fast store gives the output violations that make
+        # vpr_route an ENF winner.
+        a.andi("r8", "r1", 0x78)
+        a.add("r8", "r8", "r21")
+        a.ld("r9", "r8", 0)
+        a.mul("r9", "r9", "r4")
+        a.sd("r9", "r8", 0)
+        a.label(out)
+
+    k.indexed_loop("r16", "r17", iterations, body)
+    a.halt()
+    return k.build()

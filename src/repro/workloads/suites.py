@@ -1,0 +1,70 @@
+"""Benchmark-suite registry.
+
+The paper simulates 19 of the 26 SPEC CPU2000 benchmarks (11 specint, with
+vpr run on both its *place* and *route* inputs, and 8 specfp).  Figure 5
+reports all of them on the baseline core; Figure 6 drops mesa on the
+aggressive core ("results for mesa were not available due to a performance
+bug in the simulator's handling of system calls").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..isa.program import Program
+from . import kernels_fp, kernels_int
+
+KernelBuilderFn = Callable[[int], Program]
+
+#: specint workloads in the paper's Figure 5 order.
+INT_BENCHMARKS: Dict[str, KernelBuilderFn] = {
+    "bzip2": kernels_int.build_bzip2,
+    "crafty": kernels_int.build_crafty,
+    "gap": kernels_int.build_gap,
+    "gcc": kernels_int.build_gcc,
+    "gzip": kernels_int.build_gzip,
+    "mcf": kernels_int.build_mcf,
+    "parser": kernels_int.build_parser,
+    "perlbmk": kernels_int.build_perlbmk,
+    "twolf": kernels_int.build_twolf,
+    "vortex": kernels_int.build_vortex,
+    "vpr_place": kernels_int.build_vpr_place,
+    "vpr_route": kernels_int.build_vpr_route,
+}
+
+#: specfp workloads in the paper's Figure 5 order.
+FP_BENCHMARKS: Dict[str, KernelBuilderFn] = {
+    "ammp": kernels_fp.build_ammp,
+    "applu": kernels_fp.build_applu,
+    "apsi": kernels_fp.build_apsi,
+    "art": kernels_fp.build_art,
+    "equake": kernels_fp.build_equake,
+    "mesa": kernels_fp.build_mesa,
+    "mgrid": kernels_fp.build_mgrid,
+    "swim": kernels_fp.build_swim,
+}
+
+ALL_BENCHMARKS: Dict[str, KernelBuilderFn] = {**INT_BENCHMARKS,
+                                              **FP_BENCHMARKS}
+
+#: Benchmarks appearing in Figure 5 (baseline core).
+FIGURE5_BENCHMARKS: List[str] = list(ALL_BENCHMARKS)
+
+#: Benchmarks appearing in Figure 6 (aggressive core; no mesa).
+FIGURE6_BENCHMARKS: List[str] = [name for name in ALL_BENCHMARKS
+                                 if name != "mesa"]
+
+
+def build(name: str, scale: int = 20_000) -> Program:
+    """Build one benchmark kernel by name at the given dynamic-size scale."""
+    try:
+        builder = ALL_BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from "
+            f"{sorted(ALL_BENCHMARKS)}") from None
+    return builder(scale)
+
+
+def is_fp(name: str) -> bool:
+    return name in FP_BENCHMARKS

@@ -1,0 +1,163 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa import Assembler, AssemblyError, parse_reg
+from repro.isa import instructions as ops
+
+
+class TestParseReg:
+    def test_string_form(self):
+        assert parse_reg("r0") == 0
+        assert parse_reg("r31") == 31
+
+    def test_int_form(self):
+        assert parse_reg(7) == 7
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            parse_reg("x7")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_reg("r32")
+        with pytest.raises(ValueError):
+            parse_reg(-1)
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        a = Assembler()
+        a.j("end")
+        a.addi("r1", "r0", 1)
+        a.label("end")
+        a.halt()
+        prog = a.build()
+        assert prog.instructions[0].imm == 8  # third instruction
+
+    def test_backward_reference(self):
+        a = Assembler()
+        a.label("top")
+        a.addi("r1", "r1", 1)
+        a.bne("r1", "r2", "top")
+        a.halt()
+        prog = a.build()
+        assert prog.instructions[1].imm == 0
+
+    def test_duplicate_label_rejected(self):
+        a = Assembler()
+        a.label("x")
+        with pytest.raises(AssemblyError):
+            a.label("x")
+
+    def test_undefined_label_rejected_at_build(self):
+        a = Assembler()
+        a.j("nowhere")
+        with pytest.raises(AssemblyError):
+            a.build()
+
+    def test_numeric_target_passes_through(self):
+        a = Assembler()
+        a.j(0x40)
+        prog = a.build()
+        assert prog.instructions[0].imm == 0x40
+
+    def test_here_tracks_position(self):
+        a = Assembler()
+        assert a.here() == 0
+        a.nop()
+        assert a.here() == 4
+
+
+class TestEmission:
+    def test_store_sources(self):
+        a = Assembler()
+        a.sd("r5", "r6", 16)
+        inst = a.build().instructions[0]
+        assert inst.op == ops.SD
+        assert inst.rs1 == 6        # base
+        assert inst.rs2 == 5        # data
+        assert inst.imm == 16
+
+    def test_load_fields(self):
+        a = Assembler()
+        a.lw("r3", "r4", -8)
+        inst = a.build().instructions[0]
+        assert inst.op == ops.LW
+        assert inst.rd == 3 and inst.rs1 == 4 and inst.imm == -8
+
+    def test_mov_is_add_with_r0(self):
+        a = Assembler()
+        a.mov("r2", "r9")
+        inst = a.build().instructions[0]
+        assert inst.op == ops.ADD and inst.rs2 == 0
+
+    def test_all_alu_mnemonics_emit(self):
+        a = Assembler()
+        for name in ("add", "sub", "xor", "slt", "sltu", "sll", "srl",
+                     "sra", "mul", "div", "rem", "fadd", "fsub", "fmul",
+                     "fdiv"):
+            getattr(a, name)("r1", "r2", "r3")
+        a.and_("r1", "r2", "r3")
+        a.or_("r1", "r2", "r3")
+        assert len(a.build()) == 17
+
+    def test_all_imm_mnemonics_emit(self):
+        a = Assembler()
+        for name in ("addi", "andi", "ori", "xori", "slti", "slli",
+                     "srli", "srai"):
+            getattr(a, name)("r1", "r2", 3)
+        assert len(a.build()) == 8
+
+    def test_all_branch_mnemonics_emit(self):
+        a = Assembler()
+        a.label("t")
+        for name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            getattr(a, name)("r1", "r2", "t")
+        assert len(a.build()) == 6
+
+
+class TestDataSegments:
+    def test_data_bytes(self):
+        a = Assembler()
+        a.data(0x1000, b"\x01\x02")
+        a.halt()
+        prog = a.build()
+        assert prog.data[0x1000] == b"\x01\x02"
+
+    def test_data_words_little_endian(self):
+        a = Assembler()
+        a.data_words(0x1000, [0x0102030405060708], width=8)
+        a.halt()
+        prog = a.build()
+        assert prog.data[0x1000] == bytes(
+            [8, 7, 6, 5, 4, 3, 2, 1])
+
+    def test_data_words_width_4(self):
+        a = Assembler()
+        a.data_words(0x2000, [1, 2], width=4)
+        a.halt()
+        assert a.build().data[0x2000] == b"\x01\x00\x00\x00\x02\x00\x00\x00"
+
+    def test_data_words_masks_overflow(self):
+        a = Assembler()
+        a.data_words(0x2000, [-1], width=2)
+        a.halt()
+        assert a.build().data[0x2000] == b"\xff\xff"
+
+    def test_build_merges_extra_data(self):
+        a = Assembler()
+        a.data(0x1000, b"a")
+        a.halt()
+        prog = a.build(data={0x2000: b"b"})
+        assert prog.data == {0x1000: b"a", 0x2000: b"b"}
+
+    def test_build_is_repeatable(self):
+        a = Assembler()
+        a.j("end")
+        a.label("end")
+        a.halt()
+        first = a.build()
+        second = a.build()
+        assert [i.imm for i in first.instructions] == \
+            [i.imm for i in second.instructions]

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface and the text report."""
+
+import pytest
+
+from repro import Processor
+from repro.cli import CONFIGS, FIGURES, main
+from repro.harness import baseline_lsq_config, baseline_sfc_mdt_config
+from repro.stats.report import format_report
+from repro.workloads import ALL_BENCHMARKS
+from tests.conftest import assemble, counted_loop_program
+
+
+class TestReport:
+    def test_report_has_all_sections(self):
+        result = Processor(assemble(counted_loop_program),
+                           baseline_sfc_mdt_config()).run()
+        report = format_report(result)
+        for section in ("performance", "front end", "memory subsystem",
+                        "ordering violations", "caches"):
+            assert section in report
+        assert "IPC" in report
+        assert "SFC forwards" in report
+
+    def test_lsq_report_shows_cam_work(self):
+        result = Processor(assemble(counted_loop_program),
+                           baseline_lsq_config()).run()
+        report = format_report(result)
+        assert "CAM-searched" in report
+        assert "SFC forwards" not in report
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for benchmark in ALL_BENCHMARKS:
+            assert benchmark in out
+        for config in CONFIGS:
+            assert config in out
+        for figure in FIGURES:
+            assert figure in out
+
+    def test_run(self, capsys):
+        assert main(["run", "gap", "--scale", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "gap on" in out and "IPC" in out
+
+    def test_run_each_config(self, capsys):
+        for config in CONFIGS:
+            assert main(["run", "crafty", "--scale", "1200",
+                         "--config", config]) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gap", "--scale", "1500",
+                     "--configs", "baseline-lsq", "baseline-sfc-mdt"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-lsq" in out and "baseline-sfc-mdt" in out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "window-scaling", "--scale", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "Window scaling" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_all_figures_registered(self):
+        # Every generator in the harness is reachable from the CLI.
+        assert set(FIGURES) == {
+            "fig5", "fig6", "enf-ablation", "associativity", "corruption",
+            "granularity", "power", "window-scaling", "recovery"}

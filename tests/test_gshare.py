@@ -1,0 +1,112 @@
+"""Unit tests for the gshare + oracle branch predictor."""
+
+from repro.branch import GsharePredictor
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        bp = GsharePredictor()
+        pc = 0x40
+        for _ in range(8):
+            predicted = bp.predict(pc)
+            bp.update(pc, True, predicted)
+        assert bp.predict(pc)
+
+    def test_learns_always_not_taken(self):
+        bp = GsharePredictor()
+        pc = 0x40
+        for _ in range(8):
+            predicted = bp.predict(pc)
+            bp.update(pc, False, predicted)
+        assert not bp.predict(pc)
+
+    def test_counters_saturate(self):
+        bp = GsharePredictor()
+        pc = 0x40
+        for _ in range(100):
+            bp.update(pc, True, True)
+        # One not-taken outcome must not flip a saturated counter.
+        bp.update(pc, False, bp.predict(pc))
+        assert bp.predict(pc)
+
+    def test_history_distinguishes_patterns(self):
+        bp = GsharePredictor(history_bits=4)
+        pc = 0x80
+        # Alternating pattern: with history the predictor converges.
+        outcome = True
+        for _ in range(200):
+            predicted = bp.predict(pc)
+            bp.update(pc, outcome, predicted)
+            outcome = not outcome
+        hits = 0
+        for _ in range(50):
+            predicted = bp.predict(pc)
+            bp.update(pc, outcome, predicted)
+            hits += predicted == outcome
+            outcome = not outcome
+        assert hits > 40
+
+    def test_misprediction_counting(self):
+        bp = GsharePredictor()
+        bp.update(0x40, True, False)
+        bp.update(0x40, True, True)
+        assert bp.mispredictions == 1
+
+    def test_table_size_is_8kbit(self):
+        bp = GsharePredictor()
+        assert len(bp._counters) * 2 == 8 * 1024
+
+
+class TestOracle:
+    def test_oracle_fixes_most_mispredictions(self):
+        bp = GsharePredictor(oracle_fix_rate=0.8, seed=1)
+        fixes = 0
+        trials = 1000
+        for i in range(trials):
+            # Random outcomes on one PC: raw gshare will often be wrong.
+            actual = (i * 2654435761) & 0x10000 != 0
+            predicted = bp.predict_with_oracle(0x40, actual)
+            bp.update(0x40, actual, predicted)
+            fixes += predicted == actual
+        # With an 80% fixup, accuracy far exceeds raw gshare on noise.
+        assert fixes / trials > 0.85
+
+    def test_oracle_rate_zero_is_pure_gshare(self):
+        bp1 = GsharePredictor(oracle_fix_rate=0.0, seed=1)
+        bp2 = GsharePredictor(seed=1)
+        for i in range(100):
+            actual = i % 3 == 0
+            assert bp1.predict_with_oracle(0x40, actual) == \
+                bp2.predict(0x40)
+            bp1.update(0x40, actual, True)
+            bp2.update(0x40, actual, True)
+
+    def test_oracle_rate_one_is_always_correct(self):
+        bp = GsharePredictor(oracle_fix_rate=1.0)
+        for i in range(50):
+            actual = i % 2 == 0
+            assert bp.predict_with_oracle(0x40, actual) == actual
+
+    def test_deterministic_with_seed(self):
+        seq1 = []
+        seq2 = []
+        for seq in (seq1, seq2):
+            bp = GsharePredictor(seed=42)
+            for i in range(200):
+                actual = (i * 7) % 5 < 2
+                seq.append(bp.predict_with_oracle(0x40, actual))
+                bp.update(0x40, actual, seq[-1])
+        assert seq1 == seq2
+
+
+class TestIndirect:
+    def test_unknown_pc_predicts_zero(self):
+        bp = GsharePredictor()
+        assert bp.predict_indirect(0x40) == 0
+
+    def test_last_target_cached(self):
+        bp = GsharePredictor()
+        bp.update_indirect(0x40, 0x1234)
+        assert bp.predict_indirect(0x40) == 0x1234
+        bp.update_indirect(0x40, 0x5678)
+        assert bp.predict_indirect(0x40) == 0x5678

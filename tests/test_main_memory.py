@@ -1,0 +1,80 @@
+"""Unit tests for the flat functional memory."""
+
+from repro.memory import MainMemory
+from repro.memory.main_memory import PAGE_SIZE
+
+
+class TestByteAccess:
+    def test_roundtrip(self):
+        mem = MainMemory()
+        mem.write_bytes(0x1234, b"hello")
+        assert mem.read_bytes(0x1234, 5) == b"hello"
+
+    def test_unmapped_reads_zero(self):
+        mem = MainMemory()
+        assert mem.read_bytes(0x9999, 4) == b"\x00" * 4
+
+    def test_cross_page_write_and_read(self):
+        mem = MainMemory()
+        addr = PAGE_SIZE - 2
+        mem.write_bytes(addr, b"abcd")
+        assert mem.read_bytes(addr, 4) == b"abcd"
+        assert mem.read_bytes(PAGE_SIZE, 2) == b"cd"
+
+    def test_partial_page_read_mixes_zero(self):
+        mem = MainMemory()
+        mem.write_bytes(PAGE_SIZE, b"x")
+        assert mem.read_bytes(PAGE_SIZE - 1, 3) == b"\x00x\x00"
+
+
+class TestIntAccess:
+    def test_little_endian(self):
+        mem = MainMemory()
+        mem.write_int(0x100, 4, 0x01020304)
+        assert mem.read_bytes(0x100, 4) == b"\x04\x03\x02\x01"
+        assert mem.read_int(0x100, 4) == 0x01020304
+
+    def test_write_masks_to_size(self):
+        mem = MainMemory()
+        mem.write_int(0x100, 2, 0x12345678)
+        assert mem.read_int(0x100, 2) == 0x5678
+
+    def test_negative_value_wraps(self):
+        mem = MainMemory()
+        mem.write_int(0x100, 8, -1)
+        assert mem.read_int(0x100, 8) == (1 << 64) - 1
+
+    def test_cross_page_int(self):
+        mem = MainMemory()
+        addr = PAGE_SIZE - 4
+        mem.write_int(addr, 8, 0x1122334455667788)
+        assert mem.read_int(addr, 8) == 0x1122334455667788
+
+    def test_overwrite_single_byte(self):
+        mem = MainMemory()
+        mem.write_int(0x100, 8, 0)
+        mem.write_int(0x103, 1, 0xAB)
+        assert mem.read_int(0x100, 8) == 0xAB << 24
+
+
+class TestSegmentsAndCopy:
+    def test_load_segments(self):
+        mem = MainMemory()
+        mem.load_segments({0x1000: b"aa", 0x2000: b"bb"})
+        assert mem.read_bytes(0x1000, 2) == b"aa"
+        assert mem.read_bytes(0x2000, 2) == b"bb"
+
+    def test_copy_is_independent(self):
+        mem = MainMemory()
+        mem.write_int(0x100, 4, 7)
+        clone = mem.copy()
+        clone.write_int(0x100, 4, 9)
+        assert mem.read_int(0x100, 4) == 7
+        assert clone.read_int(0x100, 4) == 9
+
+    def test_touched_pages_sorted(self):
+        mem = MainMemory()
+        mem.write_bytes(3 * PAGE_SIZE, b"z")
+        mem.write_bytes(1 * PAGE_SIZE, b"a")
+        bases = [base for base, _ in mem.touched_pages()]
+        assert bases == [PAGE_SIZE, 3 * PAGE_SIZE]

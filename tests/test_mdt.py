@@ -1,0 +1,244 @@
+"""Unit tests for the Memory Disambiguation Table (paper Section 2.2)."""
+
+import pytest
+
+from repro.core import (
+    ANTI_DEP,
+    MDT_CONFLICT,
+    MDT_OK,
+    MDTConfig,
+    MemoryDisambiguationTable,
+    OUTPUT_DEP,
+    TRUE_DEP,
+)
+
+
+def make_mdt(num_sets=16, assoc=2, granularity=8, tagged=True,
+             counted=False):
+    return MemoryDisambiguationTable(
+        MDTConfig(num_sets=num_sets, assoc=assoc, granularity=granularity,
+                  tagged=tagged, counted_load_recovery=counted))
+
+
+class TestProtocolBasics:
+    def test_in_order_accesses_are_clean(self):
+        mdt = make_mdt()
+        assert not mdt.access_store(0x100, 8, 1, 0x10, 0).violations
+        assert not mdt.access_load(0x100, 8, 2, 0x14, 0).violations
+        assert not mdt.access_store(0x100, 8, 3, 0x18, 0).violations
+
+    def test_disjoint_addresses_never_conflict(self):
+        mdt = make_mdt()
+        assert not mdt.access_store(0x100, 8, 5, 0x10, 0).violations
+        assert not mdt.access_load(0x200, 8, 1, 0x14, 0).violations
+
+    def test_true_violation_detected(self):
+        """Younger load issued before an older store to the same address."""
+        mdt = make_mdt()
+        mdt.access_load(0x100, 8, seq=10, pc=0x14, watermark=0)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.kind == TRUE_DEP
+        assert violation.producer_pc == 0x10
+        assert violation.consumer_pc == 0x14
+        # Conservative policy: flush everything after the store.
+        assert violation.flush_after_seq == 5
+
+    def test_anti_violation_detected(self):
+        """Older load issuing after a younger store already completed."""
+        mdt = make_mdt()
+        mdt.access_store(0x100, 8, seq=10, pc=0x10, watermark=0)
+        result = mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        violation = result.violations[0]
+        assert violation.kind == ANTI_DEP
+        # The load itself must be squashed: flush from just before it.
+        assert violation.flush_after_seq == 4
+        assert violation.producer_pc == 0x14       # earlier load produces
+        assert violation.consumer_pc == 0x10       # later store consumes
+
+    def test_output_violation_detected(self):
+        """Older store completing after a younger store."""
+        mdt = make_mdt()
+        mdt.access_store(0x100, 8, seq=10, pc=0x10, watermark=0)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x18, watermark=0)
+        violation = result.violations[0]
+        assert violation.kind == OUTPUT_DEP
+        assert violation.flush_after_seq == 5
+        assert violation.producer_pc == 0x18
+        assert violation.consumer_pc == 0x10
+
+    def test_store_can_hit_both_true_and_output(self):
+        mdt = make_mdt()
+        mdt.access_load(0x100, 8, seq=20, pc=0x14, watermark=0)
+        mdt.access_store(0x100, 8, seq=10, pc=0x10, watermark=0)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x18, watermark=0)
+        kinds = {v.kind for v in result.violations}
+        assert kinds == {TRUE_DEP, OUTPUT_DEP}
+
+    def test_reissue_same_seq_is_idempotent(self):
+        """A replayed access re-issues with its own sequence number."""
+        mdt = make_mdt()
+        mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        assert not result.violations
+
+    def test_youngest_numbers_are_kept(self):
+        mdt = make_mdt()
+        mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        mdt.access_load(0x100, 8, seq=9, pc=0x24, watermark=0)
+        # A store older than both reports the *latest* load as consumer.
+        result = mdt.access_store(0x100, 8, seq=1, pc=0x10, watermark=0)
+        assert result.violations[0].consumer_pc == 0x24
+
+
+class TestGranularity:
+    def test_same_granule_aliasing(self):
+        """Distinct addresses within one granule share an entry."""
+        mdt = make_mdt(granularity=8)
+        mdt.access_store(0x100, 1, seq=10, pc=0x10, watermark=0)
+        result = mdt.access_load(0x107, 1, seq=5, pc=0x14, watermark=0)
+        assert result.violations[0].kind == ANTI_DEP
+
+    def test_finer_granularity_separates(self):
+        mdt = make_mdt(granularity=4)
+        mdt.access_store(0x100, 1, seq=10, pc=0x10, watermark=0)
+        result = mdt.access_load(0x104, 1, seq=5, pc=0x14, watermark=0)
+        assert not result.violations
+
+    def test_access_spanning_granules_touches_both(self):
+        mdt = make_mdt(granularity=8)
+        mdt.access_store(0x100, 8, seq=1, pc=0x10, watermark=0)
+        mdt.access_store(0x108, 8, seq=2, pc=0x10, watermark=0)
+        # A load spanning both granules, older than both stores.
+        result = mdt.access_load(0x104, 8, seq=0, pc=0x14, watermark=0)
+        assert len(result.violations) == 2
+
+    def test_rejects_non_power_of_two_granularity(self):
+        with pytest.raises(ValueError):
+            MDTConfig(granularity=12)
+
+
+class TestConflicts:
+    def test_tagged_set_conflict_replays(self):
+        mdt = make_mdt(num_sets=1, assoc=2)
+        mdt.access_load(0x100, 8, seq=1, pc=0x10, watermark=0)
+        mdt.access_load(0x200, 8, seq=2, pc=0x10, watermark=0)
+        result = mdt.access_load(0x300, 8, seq=3, pc=0x10, watermark=0)
+        assert result.status == MDT_CONFLICT
+        assert mdt.counters.get("mdt_set_conflicts") == 1
+
+    def test_conflict_scrubs_dead_ways_first(self):
+        mdt = make_mdt(num_sets=1, assoc=1)
+        mdt.access_load(0x100, 8, seq=1, pc=0x10, watermark=0)
+        result = mdt.access_load(0x200, 8, seq=50, pc=0x10, watermark=40)
+        assert result.status == MDT_OK
+
+    def test_untagged_shares_entries(self):
+        mdt = make_mdt(num_sets=1, tagged=False)
+        mdt.access_store(0x100, 8, seq=10, pc=0x10, watermark=0)
+        # A *different* address aliases to the same untagged entry and
+        # produces a spurious anti violation -- the paper's trade-off.
+        result = mdt.access_load(0x900, 8, seq=5, pc=0x14, watermark=0)
+        assert result.status == MDT_OK
+        assert result.violations[0].kind == ANTI_DEP
+
+    def test_untagged_never_conflicts(self):
+        mdt = make_mdt(num_sets=1, assoc=1, tagged=False)
+        for i in range(10):
+            result = mdt.access_load(0x100 * i, 8, seq=20 + i, pc=0x10,
+                                     watermark=0)
+            assert result.status == MDT_OK
+
+
+class TestRetirement:
+    def test_load_retire_invalidates_and_frees(self):
+        mdt = make_mdt()
+        mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        mdt.on_load_retire(0x100, 8, seq=5)
+        assert mdt.occupancy() == 0
+
+    def test_store_retire_invalidates_and_frees(self):
+        mdt = make_mdt()
+        mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        mdt.on_store_retire(0x100, 8, seq=5)
+        assert mdt.occupancy() == 0
+
+    def test_entry_survives_while_other_number_valid(self):
+        mdt = make_mdt()
+        mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        mdt.access_store(0x100, 8, seq=6, pc=0x10, watermark=0)
+        mdt.on_load_retire(0x100, 8, seq=5)
+        assert mdt.occupancy() == 1
+        mdt.on_store_retire(0x100, 8, seq=6)
+        assert mdt.occupancy() == 0
+
+    def test_stale_retire_does_not_clear_younger_number(self):
+        mdt = make_mdt()
+        mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        mdt.access_load(0x100, 8, seq=9, pc=0x14, watermark=0)
+        mdt.on_load_retire(0x100, 8, seq=5)
+        # Seq 9 still recorded: an older store must still violate.
+        result = mdt.access_store(0x100, 8, seq=2, pc=0x10, watermark=0)
+        assert result.violations
+
+    def test_retire_frees_count_as_evictions(self):
+        mdt = make_mdt()
+        mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        before = mdt.eviction_events
+        mdt.on_load_retire(0x100, 8, seq=5)
+        assert mdt.eviction_events == before + 1
+
+
+class TestFlushesAndScrub:
+    def test_partial_flush_leaves_state(self):
+        mdt = make_mdt()
+        mdt.access_store(0x100, 8, seq=10, pc=0x10, watermark=0)
+        mdt.on_partial_flush()
+        # Conservatism: the canceled store still triggers violations.
+        result = mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        assert result.violations
+
+    def test_full_flush_clears(self):
+        mdt = make_mdt()
+        mdt.access_store(0x100, 8, seq=10, pc=0x10, watermark=0)
+        mdt.on_full_flush()
+        assert mdt.occupancy() == 0
+
+    def test_scrub_reclaims_dead(self):
+        mdt = make_mdt()
+        mdt.access_load(0x100, 8, seq=1, pc=0x14, watermark=0)
+        mdt.access_load(0x200, 8, seq=50, pc=0x14, watermark=0)
+        mdt.scrub(watermark=10)
+        assert mdt.occupancy() == 1
+
+
+class TestCountedRecovery:
+    def test_single_load_flushes_from_load(self):
+        """Section 2.4.1: with one completed conflicting load, flush the
+        load instead of the whole post-store window."""
+        mdt = make_mdt(counted=True)
+        mdt.access_load(0x100, 8, seq=10, pc=0x14, watermark=0)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        assert result.violations[0].flush_after_seq == 9
+
+    def test_multiple_loads_fall_back_to_conservative(self):
+        mdt = make_mdt(counted=True)
+        mdt.access_load(0x100, 8, seq=10, pc=0x14, watermark=0)
+        mdt.access_load(0x100, 8, seq=12, pc=0x24, watermark=0)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        assert result.violations[0].flush_after_seq == 5
+
+    def test_disabled_by_default(self):
+        mdt = make_mdt(counted=False)
+        mdt.access_load(0x100, 8, seq=10, pc=0x14, watermark=0)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        assert result.violations[0].flush_after_seq == 5
+
+    def test_load_count_decrements_at_retire(self):
+        mdt = make_mdt(counted=True)
+        mdt.access_load(0x100, 8, seq=10, pc=0x14, watermark=0)
+        mdt.access_load(0x100, 8, seq=12, pc=0x24, watermark=0)
+        mdt.on_load_retire(0x100, 8, seq=10)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        assert result.violations[0].flush_after_seq == 11

@@ -1,0 +1,100 @@
+"""Tests for the pipeline event tracer."""
+
+from repro import Processor
+from repro.harness import baseline_lsq_config, baseline_sfc_mdt_config
+from repro.pipeline.pipetrace import PipeTracer, trace_run
+from tests.conftest import assemble, counted_loop_program, store_load_program
+
+
+def traced(build_fn, config=None):
+    processor = Processor(assemble(build_fn),
+                          config or baseline_lsq_config())
+    return trace_run(processor)
+
+
+class TestLifecycle:
+    def test_every_retired_instruction_traced(self):
+        tracer = traced(store_load_program)
+        retired = tracer.retired()
+        assert len(retired) == 5
+        for trace in retired:
+            assert trace.dispatch_cycle <= trace.issue_cycles[0]
+            assert trace.issue_cycles[0] <= trace.complete_cycle
+            assert trace.complete_cycle <= trace.retire_cycle
+
+    def test_retirement_is_in_order(self):
+        tracer = traced(counted_loop_program)
+        cycles = [t.retire_cycle for t in tracer.retired()]
+        assert cycles == sorted(cycles)
+
+    def test_latency_query(self):
+        tracer = traced(store_load_program)
+        first = tracer.retired()[0]
+        assert tracer.latency_of(first.seq) == \
+            first.retire_cycle - first.dispatch_cycle
+        assert tracer.latency_of(999_999) is None
+
+    def test_tracing_does_not_change_timing(self):
+        prog = assemble(counted_loop_program)
+        plain = Processor(prog, baseline_lsq_config()).run()
+        proc = Processor(prog, baseline_lsq_config())
+        tracer = PipeTracer(proc)
+        traced_result = proc.run()
+        assert plain.cycles == traced_result.cycles
+        assert len(tracer.retired()) == traced_result.instructions
+
+
+class TestSpeculationEvents:
+    @staticmethod
+    def wrong_path_program(a):
+        a.li("r1", 1)
+        a.li("r2", 0x1000)
+        a.li("r5", 88172645463325252)
+        a.li("r3", 0)
+        a.li("r4", 60)
+        a.label("loop")
+        a.slli("r6", "r5", 13)
+        a.xor("r5", "r5", "r6")
+        a.srli("r6", "r5", 7)
+        a.xor("r5", "r5", "r6")
+        a.andi("r6", "r5", 8)
+        a.beq("r6", "r0", "skip")
+        a.sd("r3", "r2", 0)
+        a.label("skip")
+        a.addi("r3", "r3", 1)
+        a.bne("r3", "r4", "loop")
+        a.halt()
+
+    def test_squashes_recorded(self):
+        tracer = traced(self.wrong_path_program)
+        squashed = tracer.squashed()
+        assert squashed, "mispredicted branches should squash something"
+        for trace in squashed:
+            assert trace.retire_cycle is None
+            assert any(e.startswith("squash@") for e in trace.events)
+
+    def test_replays_recorded(self):
+        config = baseline_sfc_mdt_config(sfc_sets=1, sfc_assoc=1,
+                                         mdt_sets=1, mdt_assoc=1)
+        def build(a):
+            a.li("r1", 0x1000)
+            a.li("r2", 0x2000)
+            a.li("r3", 0x3000)
+            for reg in ("r1", "r2", "r3"):
+                a.sd("r9", reg, 0)
+            a.halt()
+        tracer = traced(build, config)
+        assert any(t.replays > 0 for t in tracer.traces.values())
+
+    def test_format_renders_rows(self):
+        tracer = traced(store_load_program)
+        text = tracer.format()
+        assert "instruction" in text
+        assert "ld r3" in text
+        assert "sd r2" in text
+
+    def test_format_window(self):
+        tracer = traced(counted_loop_program)
+        text = tracer.format(first=0, count=3)
+        # header + separator + 3 rows
+        assert len(text.splitlines()) == 5

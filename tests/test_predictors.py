@@ -1,0 +1,171 @@
+"""Unit tests for the producer-set predictor and dependence tag file."""
+
+from repro.core import (
+    ANTI_DEP,
+    DependenceTagFile,
+    ENF,
+    LSQ_MODE,
+    NOT_ENF,
+    OUTPUT_DEP,
+    TOTAL,
+    PredictorConfig,
+    ProducerSetPredictor,
+    TRUE_DEP,
+)
+
+
+def make_predictor(mode=ENF):
+    return ProducerSetPredictor(PredictorConfig(mode=mode)), \
+        DependenceTagFile()
+
+
+class TestTagFile:
+    def test_allocation_starts_not_ready(self):
+        tags = DependenceTagFile()
+        tag = tags.allocate()
+        assert not tags.is_ready(tag)
+
+    def test_mark_ready(self):
+        tags = DependenceTagFile()
+        tag = tags.allocate()
+        tags.mark_ready(tag)
+        assert tags.is_ready(tag)
+
+    def test_released_tags_read_ready(self):
+        tags = DependenceTagFile()
+        tag = tags.allocate()
+        tags.release(tag)
+        assert tags.is_ready(tag)
+
+    def test_unknown_tag_reads_ready(self):
+        tags = DependenceTagFile()
+        assert tags.is_ready(12345)
+
+    def test_tags_are_unique(self):
+        tags = DependenceTagFile()
+        assert len({tags.allocate() for _ in range(100)}) == 100
+
+
+class TestTraining:
+    def test_untrained_pcs_get_no_tags(self):
+        pred, tags = make_predictor()
+        consumed, produced = pred.on_dispatch(0x40, False, tags)
+        assert consumed is None and produced is None
+
+    def test_true_violation_links_pair(self):
+        pred, tags = make_predictor()
+        pred.on_violation(TRUE_DEP, producer_pc=0x10, consumer_pc=0x20)
+        pid, _ = pred.producer_set_of(0x10)
+        _, cid = pred.producer_set_of(0x20)
+        assert pid >= 0 and pid == cid
+
+    def test_merge_rule_smaller_id_wins(self):
+        pred, tags = make_predictor()
+        pred.on_violation(TRUE_DEP, 0x10, 0x20)   # id A
+        pred.on_violation(TRUE_DEP, 0x30, 0x40)   # id B
+        pred.on_violation(TRUE_DEP, 0x10, 0x40)   # merge
+        pid_a, _ = pred.producer_set_of(0x10)
+        _, cid_b = pred.producer_set_of(0x40)
+        assert pid_a == cid_b == min(pid_a, cid_b)
+
+    def test_none_pcs_ignored(self):
+        pred, tags = make_predictor()
+        pred.on_violation(TRUE_DEP, None, 0x20)
+        assert pred.counters.get("pred_trainings") == 0
+
+
+class TestEnforcementModes:
+    def test_enf_trains_on_all_kinds(self):
+        pred, _ = make_predictor(ENF)
+        pred.on_violation(ANTI_DEP, 0x10, 0x20)
+        pred.on_violation(OUTPUT_DEP, 0x30, 0x40)
+        assert pred.counters.get("pred_trainings") == 2
+
+    def test_not_enf_trains_only_true(self):
+        pred, _ = make_predictor(NOT_ENF)
+        pred.on_violation(ANTI_DEP, 0x10, 0x20)
+        pred.on_violation(OUTPUT_DEP, 0x30, 0x40)
+        pred.on_violation(TRUE_DEP, 0x50, 0x60)
+        assert pred.counters.get("pred_trainings") == 1
+        assert pred.producer_set_of(0x10) == (-1, -1)
+
+    def test_total_makes_both_producer_and_consumer(self):
+        pred, _ = make_predictor(TOTAL)
+        pred.on_violation(TRUE_DEP, 0x10, 0x20)
+        pid_p, cid_p = pred.producer_set_of(0x10)
+        pid_c, cid_c = pred.producer_set_of(0x20)
+        assert pid_p == cid_p == pid_c == cid_c >= 0
+
+    def test_lsq_mode_trains_only_true(self):
+        pred, _ = make_predictor(LSQ_MODE)
+        pred.on_violation(OUTPUT_DEP, 0x10, 0x20)
+        assert pred.counters.get("pred_trainings") == 0
+
+
+class TestDispatchTags:
+    def test_producer_publishes_consumer_reads(self):
+        pred, tags = make_predictor()
+        pred.on_violation(TRUE_DEP, producer_pc=0x10, consumer_pc=0x20)
+        _, produced = pred.on_dispatch(0x10, True, tags)
+        assert produced is not None
+        consumed, _ = pred.on_dispatch(0x20, False, tags)
+        assert consumed == produced
+
+    def test_consumer_before_any_producer_gets_none(self):
+        pred, tags = make_predictor()
+        pred.on_violation(TRUE_DEP, 0x10, 0x20)
+        consumed, _ = pred.on_dispatch(0x20, False, tags)
+        assert consumed is None
+
+    def test_consumer_sees_latest_producer(self):
+        pred, tags = make_predictor()
+        pred.on_violation(TRUE_DEP, 0x10, 0x20)
+        _, first = pred.on_dispatch(0x10, True, tags)
+        _, second = pred.on_dispatch(0x10, True, tags)
+        consumed, _ = pred.on_dispatch(0x20, False, tags)
+        assert consumed == second != first
+
+    def test_total_mode_chains_in_fetch_order(self):
+        """An instruction that is both consumer and producer links to the
+        previous producer, not to itself."""
+        pred, tags = make_predictor(TOTAL)
+        pred.on_violation(TRUE_DEP, 0x10, 0x20)
+        _, t1 = pred.on_dispatch(0x10, True, tags)
+        c2, t2 = pred.on_dispatch(0x20, True, tags)
+        c3, t3 = pred.on_dispatch(0x10, True, tags)
+        assert c2 == t1
+        assert c3 == t2
+        assert len({t1, t2, t3}) == 3
+
+    def test_lsq_mode_stores_do_not_consume(self):
+        """Section 2.1: with the LSQ, predicted output dependences among
+        stores are not enforced."""
+        pred, tags = make_predictor(LSQ_MODE)
+        pred.on_violation(TRUE_DEP, producer_pc=0x10, consumer_pc=0x20)
+        # Make the producer PC also a consumer via another violation.
+        pred.on_violation(TRUE_DEP, producer_pc=0x30, consumer_pc=0x10)
+        pred.on_dispatch(0x30, True, tags)
+        consumed_store, _ = pred.on_dispatch(0x10, True, tags)
+        consumed_load, _ = pred.on_dispatch(0x10, False, tags)
+        assert consumed_store is None
+        assert consumed_load is not None
+
+    def test_counters(self):
+        pred, tags = make_predictor()
+        pred.on_violation(TRUE_DEP, 0x10, 0x20)
+        pred.on_dispatch(0x10, True, tags)
+        pred.on_dispatch(0x20, False, tags)
+        assert pred.counters.get("pred_produces") == 1
+        assert pred.counters.get("pred_consumes") == 1
+
+
+class TestConfig:
+    def test_rejects_unknown_mode(self):
+        import pytest
+        with pytest.raises(ValueError):
+            PredictorConfig(mode="bogus")
+
+    def test_id_allocation_wraps(self):
+        pred = ProducerSetPredictor(PredictorConfig(num_ids=2))
+        ids = {pred._allocate_id() for _ in range(5)}
+        assert ids == {0, 1}

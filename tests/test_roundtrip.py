@@ -1,0 +1,52 @@
+"""Disassembler/parser roundtrip consistency.
+
+The disassembler's output is valid input for the text parser, and
+re-parsing it reproduces the instruction stream exactly.  This ties the
+builder assembler, the disassembler, and the text parser together: any
+formatting drift in one of them breaks the property.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import run_program
+from repro.isa.parser import parse_asm as parse
+from repro.workloads import build, random_program
+
+
+def instructions_equal(a, b):
+    return (a.op == b.op and a.rd == b.rd and a.rs1 == b.rs1 and
+            a.rs2 == b.rs2 and a.imm == b.imm)
+
+
+def roundtrip(program):
+    reparsed = parse(program.disassemble(), name=program.name)
+    assert len(reparsed) == len(program)
+    for original, again in zip(program.instructions,
+                               reparsed.instructions):
+        assert instructions_equal(original, again), \
+            f"{original!r} != {again!r}"
+    return reparsed
+
+
+class TestRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_random_programs_roundtrip(self, seed):
+        roundtrip(random_program(seed, max_blocks=10))
+
+    def test_every_kernel_roundtrips(self):
+        for name in ("gzip", "bzip2", "mcf", "mesa", "equake", "parser"):
+            roundtrip(build(name, scale=1200))
+
+    def test_reparsed_program_executes_identically(self):
+        program = random_program(42, max_blocks=10)
+        reparsed = parse(program.disassemble())
+        # The disassembly carries no data segment; supply the original's.
+        reparsed.data.update(program.data)
+        original_trace = run_program(program, 500_000)
+        reparsed_trace = run_program(reparsed, 500_000)
+        assert len(original_trace) == len(reparsed_trace)
+        for a, b in zip(original_trace, reparsed_trace):
+            assert a.pc == b.pc and a.dest_value == b.dest_value
+            assert a.store_addr == b.store_addr
