@@ -10,15 +10,10 @@ associativity and IPC improves.
 
 from repro.harness.figures import associativity_sweep
 
-from benchmarks.conftest import publish
 
-
-def test_associativity_fixes_bzip2_and_mcf(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        associativity_sweep,
-        kwargs={"scale": scale, "runner": runner, "assocs": (2, 4, 8, 16)},
-        rounds=1, iterations=1)
-    publish("associativity_sweep", figure.format())
+def test_associativity_fixes_bzip2_and_mcf(figure_bench):
+    figure = figure_bench(associativity_sweep, "associativity_sweep",
+                          assocs=(2, 4, 8, 16))
 
     # bzip2: SFC store replays vanish at 16-way, IPC improves.
     assert figure.value("bzip2", "st-replay@2") > 1.0

@@ -16,8 +16,6 @@ from repro.core import CORRUPTION_ENDPOINTS
 from repro.harness.configs import aggressive_sfc_mdt_config
 from repro.harness.figures import FigureResult
 
-from benchmarks.conftest import publish
-
 BENCHMARKS = ("vpr_route", "ammp", "equake", "gzip", "twolf")
 
 
@@ -47,11 +45,9 @@ def corruption_mechanisms(scale, runner):
          "corrupt/ld-endp", "overflows"], rows)
 
 
-def test_flush_endpoints_vs_corruption_masks(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        corruption_mechanisms, args=(scale, runner),
-        rounds=1, iterations=1)
-    publish("corruption_mechanisms", figure.format())
+def test_flush_endpoints_vs_corruption_masks(figure_bench):
+    figure = figure_bench(corruption_mechanisms,
+                          "corruption_mechanisms")
 
     for name, values in figure.rows:
         # Endpoint tracking never replays more loads than blanket masks.

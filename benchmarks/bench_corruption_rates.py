@@ -10,16 +10,11 @@ suite's typical corruption replay rate.
 
 from repro.harness.figures import corruption_rates
 
-from benchmarks.conftest import publish
-
 CORRUPTION_PRONE = ("vpr_route", "ammp", "equake")
 
 
-def test_corruption_replay_rates(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        corruption_rates, kwargs={"scale": scale, "runner": runner},
-        rounds=1, iterations=1)
-    publish("corruption_rates", figure.format())
+def test_corruption_replay_rates(figure_bench):
+    figure = figure_bench(corruption_rates, "corruption_rates")
 
     rates = {name: values["corrupt-replays/load"]
              for name, values in figure.rows}

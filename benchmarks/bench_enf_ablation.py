@@ -11,14 +11,9 @@ gap, and an order-of-magnitude-style drop in violation rate.
 
 from repro.harness.figures import enf_ablation
 
-from benchmarks.conftest import publish
 
-
-def test_enf_vs_not_enf_on_aggressive_core(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        enf_ablation, kwargs={"scale": scale, "runner": runner},
-        rounds=1, iterations=1)
-    publish("enf_ablation", figure.format())
+def test_enf_vs_not_enf_on_aggressive_core(figure_bench):
+    figure = figure_bench(enf_ablation, "enf_ablation")
 
     int_gain = figure.average("int avg", "ENF/NOT-ENF")
     fp_gain = figure.average("fp avg", "ENF/NOT-ENF")

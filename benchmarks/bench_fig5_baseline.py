@@ -15,14 +15,9 @@ Paper shape to reproduce (not absolute numbers):
 from repro.harness.figures import figure5
 from repro.workloads import suites
 
-from benchmarks.conftest import publish
 
-
-def test_fig5_baseline_normalized_ipc(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        figure5, kwargs={"scale": scale, "runner": runner},
-        rounds=1, iterations=1)
-    publish("fig5_baseline", figure.format())
+def test_fig5_baseline_normalized_ipc(figure_bench):
+    figure = figure_bench(figure5, "fig5_baseline")
 
     int_enf = figure.average("int avg", "ENF")
     fp_enf = figure.average("fp avg", "ENF")

@@ -15,14 +15,9 @@ Paper shape to reproduce:
 
 from repro.harness.figures import figure6
 
-from benchmarks.conftest import publish
 
-
-def test_fig6_aggressive_normalized_ipc(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        figure6, kwargs={"scale": scale, "runner": runner},
-        rounds=1, iterations=1)
-    publish("fig6_aggressive", figure.format())
+def test_fig6_aggressive_normalized_ipc(figure_bench):
+    figure = figure_bench(figure6, "fig6_aggressive")
 
     # A bigger LSQ buys nothing over the 120x80 baseline.
     assert 0.95 < figure.average("int avg", "lsq256x256") < 1.15

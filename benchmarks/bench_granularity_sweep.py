@@ -11,18 +11,12 @@ coarser, and the 8-byte configuration performs within noise of the best.
 
 from repro.harness.figures import granularity_sweep
 
-from benchmarks.conftest import publish
-
 GRANULARITIES = (4, 8, 16, 32)
 
 
-def test_mdt_granularity_tradeoff(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        granularity_sweep,
-        kwargs={"scale": scale, "runner": runner,
-                "granularities": GRANULARITIES},
-        rounds=1, iterations=1)
-    publish("granularity_sweep", figure.format())
+def test_mdt_granularity_tradeoff(figure_bench):
+    figure = figure_bench(granularity_sweep, "granularity_sweep",
+                          granularities=GRANULARITIES)
 
     for name, values in figure.rows:
         ipc8 = values["IPC@8B"]

@@ -16,18 +16,12 @@ comparison; the structural claim is made on well-behaved workloads.
 
 from repro.harness.figures import power_comparison
 
-from benchmarks.conftest import publish
-
 LSQ_SIZES = ((48, 32), (120, 80), (256, 256))
 
 
-def test_energy_ratio_grows_with_lsq_size(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        power_comparison,
-        kwargs={"scale": scale, "runner": runner,
-                "lsq_sizes": LSQ_SIZES},
-        rounds=1, iterations=1)
-    publish("power_model", figure.format())
+def test_energy_ratio_grows_with_lsq_size(figure_bench):
+    figure = figure_bench(power_comparison, "power_model",
+                          lsq_sizes=LSQ_SIZES)
 
     keys = [f"LSQ{lq}x{sq}/SFC" for lq, sq in LSQ_SIZES]
     for name, values in figure.rows:

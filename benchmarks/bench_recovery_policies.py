@@ -13,18 +13,12 @@ retirement validation).
 
 from repro.harness.figures import recovery_policies
 
-from benchmarks.conftest import publish
-
 BENCHMARKS = ("gzip", "applu", "vpr_route", "ammp")
 
 
-def test_recovery_policy_ablation(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        recovery_policies,
-        kwargs={"scale": scale, "runner": runner,
-                "benchmarks": BENCHMARKS},
-        rounds=1, iterations=1)
-    publish("recovery_policies", figure.format())
+def test_recovery_policy_ablation(figure_bench):
+    figure = figure_bench(recovery_policies, "recovery_policies",
+                          benchmarks=BENCHMARKS)
 
     for name, values in figure.rows:
         conservative = values["conservative"]

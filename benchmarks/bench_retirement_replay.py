@@ -24,8 +24,6 @@ from repro.harness.configs import (
 )
 from repro.harness.figures import FigureResult
 
-from benchmarks.conftest import publish
-
 VIOLATION_PRONE = ("gzip", "ammp")
 WELL_BEHAVED = ("swim", "art", "crafty")
 BENCHMARKS = VIOLATION_PRONE + WELL_BEHAVED
@@ -53,12 +51,9 @@ def retirement_replay_comparison(scale, runner):
          "late-violations"], rows)
 
 
-def test_completion_beats_retirement_on_deep_windows(benchmark, runner,
-                                                     scale):
-    figure = benchmark.pedantic(
-        retirement_replay_comparison, args=(scale, runner),
-        rounds=1, iterations=1)
-    publish("retirement_replay", figure.format())
+def test_completion_beats_retirement_on_deep_windows(figure_bench):
+    figure = figure_bench(retirement_replay_comparison,
+                          "retirement_replay")
 
     values = dict(figure.rows)
     # Violation-prone workloads: late detection costs a full window per

@@ -20,8 +20,6 @@ and the tagged variant through replays.
 from repro.harness.configs import baseline_sfc_mdt_config
 from repro.harness.figures import FigureResult
 
-from benchmarks.conftest import publish
-
 BENCHMARKS = ("parser", "equake")
 MDT_SIZES = (4096, 256, 64)
 
@@ -52,10 +50,8 @@ def untagged_sweep(scale, runner):
         "(baseline core)", series, rows)
 
 
-def test_untagged_mdt_tradeoff(benchmark, runner, scale):
-    figure = benchmark.pedantic(untagged_sweep, args=(scale, runner),
-                                rounds=1, iterations=1)
-    publish("untagged_mdt", figure.format())
+def test_untagged_mdt_tradeoff(figure_bench):
+    figure = figure_bench(untagged_sweep, "untagged_mdt")
 
     for name, values in figure.rows:
         # At the paper's 4K-set size the variants are equivalent.

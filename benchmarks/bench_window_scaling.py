@@ -9,18 +9,12 @@ across the whole range.
 
 from repro.harness.figures import window_scaling
 
-from benchmarks.conftest import publish
-
 WINDOWS = (32, 64, 128, 256, 512, 1024)
 
 
-def test_sfc_mdt_tracks_lsq_across_window_sizes(benchmark, runner, scale):
-    figure = benchmark.pedantic(
-        window_scaling,
-        kwargs={"scale": scale, "runner": runner, "benchmark": "swim",
-                "windows": WINDOWS},
-        rounds=1, iterations=1)
-    publish("window_scaling", figure.format())
+def test_sfc_mdt_tracks_lsq_across_window_sizes(figure_bench):
+    figure = figure_bench(window_scaling, "window_scaling",
+                          benchmark="swim", windows=WINDOWS)
 
     ratios = [values["ratio"] for _, values in figure.rows]
     # The SFC/MDT stays close to the size-matched LSQ at every window.

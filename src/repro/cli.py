@@ -4,13 +4,19 @@ Subcommands
 -----------
 
 ``list``
-    Show the available benchmarks, configurations, and figures.
+    Show the available benchmarks, subsystems, configurations, and
+    figures.
 ``run BENCHMARK``
     Simulate one benchmark under one configuration and print a report.
 ``compare BENCHMARK``
     Run one benchmark under several configurations side by side.
 ``figure NAME``
     Regenerate one of the paper's figures/tables.
+
+``run``, ``compare``, and ``figure`` share the experiment-engine flags:
+``--jobs N`` simulates uncached grid cells on N worker processes
+(default: all cores), ``--cache-dir`` relocates the persistent result
+cache (default ``.repro_cache/``), and ``--no-cache`` disables it.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from .core import registry
 from .harness import configs as config_presets
 from .harness import figures
 from .harness.experiment import ExperimentRunner
@@ -49,6 +56,24 @@ FIGURES: Dict[str, Callable[..., "figures.FigureResult"]] = {
 }
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Experiment-engine knobs shared by run/compare/figure."""
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for uncached grid cells "
+                             "(default: all cores; 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result-cache directory "
+                             "(default .repro_cache/)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+
+
+def _build_runner(args) -> ExperimentRunner:
+    return ExperimentRunner(scale=args.scale, jobs=args.jobs,
+                            cache_dir=args.cache_dir,
+                            use_cache=not args.no_cache)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -57,7 +82,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(MICRO 2005)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks, configs, and figures")
+    sub.add_parser("list", help="list benchmarks, subsystems, configs, "
+                                "and figures")
 
     run = sub.add_parser("run", help="simulate one benchmark")
     run.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
@@ -65,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=sorted(CONFIGS))
     run.add_argument("--scale", type=int, default=20_000,
                      help="dynamic instruction budget (default 20000)")
+    _add_engine_flags(run)
 
     compare = sub.add_parser(
         "compare", help="one benchmark under several configurations")
@@ -73,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          default=["baseline-lsq", "baseline-sfc-mdt"],
                          choices=sorted(CONFIGS))
     compare.add_argument("--scale", type=int, default=20_000)
+    _add_engine_flags(compare)
 
     figure = sub.add_parser("figure",
                             help="regenerate a paper figure/table")
@@ -81,12 +109,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="dynamic instruction budget per run "
                              "(default 8000; the archived results use "
                              "20000)")
+    _add_engine_flags(figure)
     return parser
 
 
 def _cmd_list() -> int:
     print("benchmarks:")
     for name in ALL_BENCHMARKS:
+        print(f"  {name}")
+    print("\nsubsystems:")
+    for name in registry.available():
         print(f"  {name}")
     print("\nconfigurations:")
     for name in sorted(CONFIGS):
@@ -98,27 +130,29 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
-    runner = ExperimentRunner(scale=args.scale)
+    runner = _build_runner(args)
     result = runner.run(args.benchmark, CONFIGS[args.config]())
     print(format_report(result))
     return 0
 
 
 def _cmd_compare(args) -> int:
-    runner = ExperimentRunner(scale=args.scale)
-    results = [(name, runner.run(args.benchmark, CONFIGS[name]()))
-               for name in args.configs]
-    width = max(len(name) for name, _ in results)
+    runner = _build_runner(args)
+    configs = [CONFIGS[name]() for name in args.configs]
+    grid = runner.run_suite([args.benchmark], configs)
+    width = max(len(name) for name in args.configs)
     print(f"{args.benchmark} (scale {args.scale})")
     print(f"{'configuration':<{width}}  {'IPC':>7}  {'cycles':>9}")
-    for name, result in results:
+    for name, config in zip(args.configs, configs):
+        result = grid[(args.benchmark, config.name)]
         print(f"{name:<{width}}  {result.ipc:>7.3f}  "
               f"{result.cycles:>9d}")
     return 0
 
 
 def _cmd_figure(args) -> int:
-    figure = FIGURES[args.name](scale=args.scale)
+    figure = FIGURES[args.name](scale=args.scale,
+                                runner=_build_runner(args))
     print(figure.format())
     return 0
 

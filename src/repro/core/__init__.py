@@ -1,7 +1,9 @@
 """The paper's contribution: SFC, MDT, store FIFO, dependence predictors,
 and the LSQ baseline, unified behind the ``MemorySubsystem`` interface."""
 
+from . import registry
 from .load_replay import LoadReplaySubsystem
+from .registry import register_subsystem
 from .lsq import LoadStoreQueue, LSQConfig
 from .mdt import (
     MDT_CONFLICT,
@@ -68,6 +70,8 @@ __all__ = [
     "PredictorConfig",
     "ProducerSetPredictor",
     "REPLAY",
+    "register_subsystem",
+    "registry",
     "SFCConfig",
     "SFC_CORRUPT",
     "SFC_HIT",

@@ -31,14 +31,20 @@ from ..memory.cache import CacheHierarchy
 from ..memory.main_memory import MainMemory
 from ..stats.counters import Counters
 from .lsq import LoadStoreQueue, LSQConfig
+from .registry import register_subsystem
 from .subsystem import DONE, MemorySubsystem, MemOutcome
 from .violations import TRUE_DEP, Violation
 
 
+@register_subsystem("load_replay")
 class LoadReplaySubsystem(MemorySubsystem):
     """LSQ-style forwarding, disambiguation deferred to retirement."""
 
     name = "load_replay"
+
+    @classmethod
+    def from_config(cls, config, memory, hierarchy, counters):
+        return cls(config.lsq, memory, hierarchy, counters)
 
     def __init__(self, config: LSQConfig, memory: MainMemory,
                  hierarchy: CacheHierarchy, counters: Counters):

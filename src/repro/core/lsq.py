@@ -31,6 +31,10 @@ class LSQConfig:
         self.lq_size = lq_size
         self.sq_size = sq_size
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable view (experiment-cache keying)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
     def __repr__(self) -> str:
         return f"LSQConfig({self.lq_size}x{self.sq_size})"
 

@@ -63,6 +63,10 @@ class MDTConfig:
         #: instead of from the completing store.
         self.counted_load_recovery = counted_load_recovery
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable view (experiment-cache keying)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
     def __repr__(self) -> str:
         return (f"MDTConfig(num_sets={self.num_sets}, assoc={self.assoc}, "
                 f"granularity={self.granularity}, tagged={self.tagged})")

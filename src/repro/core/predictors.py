@@ -62,6 +62,10 @@ class PredictorConfig:
         self.lfpt_entries = lfpt_entries
         self.mode = mode
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable view (experiment-cache keying)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
     def __repr__(self) -> str:
         return f"PredictorConfig(mode={self.mode})"
 

@@ -75,6 +75,10 @@ class SFCConfig:
         #: would depend on the number of flush endpoints tracked").
         self.flush_endpoint_slots = flush_endpoint_slots
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable view (experiment-cache keying)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
     def __repr__(self) -> str:
         return (f"SFCConfig(num_sets={self.num_sets}, assoc={self.assoc}, "
                 f"corruption_mode={self.corruption_mode!r})")

@@ -17,6 +17,7 @@ from ..memory.cache import CacheHierarchy
 from ..memory.main_memory import MainMemory
 from ..stats.counters import Counters
 from .lsq import LoadStoreQueue, LSQConfig
+from .registry import register_subsystem
 from .mdt import MDT_CONFLICT, MDTConfig, MemoryDisambiguationTable
 from .sfc import (
     SFC_CORRUPT,
@@ -73,6 +74,17 @@ class MemorySubsystem:
     #: Extra pipeline-flush penalty in cycles charged on an ordering
     #: violation (the paper charges +1 for the MDT's tag check).
     violation_extra_penalty = 0
+
+    @classmethod
+    def from_config(cls, config, memory: MainMemory,
+                    hierarchy: CacheHierarchy, counters: Counters
+                    ) -> "MemorySubsystem":
+        """Build this subsystem from a full ``ProcessorConfig``.
+
+        The registry (:mod:`repro.core.registry`) calls this; subclasses
+        override it to pick their knobs out of ``config``.
+        """
+        raise NotImplementedError
 
     def can_dispatch_load(self) -> bool:
         raise NotImplementedError
@@ -136,10 +148,15 @@ class MemorySubsystem:
         return 0
 
 
+@register_subsystem("lsq")
 class LSQSubsystem(MemorySubsystem):
     """The conventional (idealized) load/store queue."""
 
     name = "lsq"
+
+    @classmethod
+    def from_config(cls, config, memory, hierarchy, counters):
+        return cls(config.lsq, memory, hierarchy, counters)
 
     def __init__(self, config: LSQConfig, memory: MainMemory,
                  hierarchy: CacheHierarchy, counters: Counters):
@@ -194,6 +211,7 @@ class LSQSubsystem(MemorySubsystem):
         self.lsq.flush_all()
 
 
+@register_subsystem("sfc_mdt")
 class SfcMdtSubsystem(MemorySubsystem):
     """The paper's design: SFC + MDT + store FIFO (Section 2)."""
 
@@ -204,6 +222,12 @@ class SfcMdtSubsystem(MemorySubsystem):
     # "To model the tag check in the SFC, we increase the latency of store
     # instructions by one cycle."
     store_tag_check_latency = 1
+
+    @classmethod
+    def from_config(cls, config, memory, hierarchy, counters):
+        return cls(config.sfc, config.mdt, memory, hierarchy, counters,
+                   store_fifo_capacity=config.store_fifo_capacity,
+                   output_recovery=config.output_recovery)
 
     def __init__(self, sfc_config: SFCConfig, mdt_config: MDTConfig,
                  memory: MainMemory, hierarchy: CacheHierarchy,

@@ -1,18 +1,47 @@
-"""Experiment runner: simulate benchmark suites across configurations.
+"""Experiment engine: (benchmark x configuration) grids, in parallel,
+with golden-trace reuse and a persistent on-disk result cache.
 
-One :class:`ExperimentRunner` caches the golden trace per (benchmark,
-scale) so each workload's architectural execution happens once no matter
-how many processor configurations are measured against it.
+One :class:`ExperimentRunner` owns three layers of reuse:
+
+* **golden traces** -- each workload's architectural execution happens
+  once per (benchmark, scale) no matter how many processor
+  configurations are measured against it, and is shipped to worker
+  processes so they never re-interpret the program;
+* **process-pool scheduling** -- ``run_suite`` farms uncached grid cells
+  out to a ``ProcessPoolExecutor`` (``jobs`` workers, default
+  ``os.cpu_count()``; ``jobs=1`` preserves the serial in-process path
+  for determinism tests and debugging);
+* **persistent result cache** -- completed cells are stored as JSON
+  under ``.repro_cache/`` (override with ``cache_dir`` or the
+  ``REPRO_CACHE_DIR`` environment variable), keyed by a content hash of
+  the benchmark name, the scale, and the full canonical
+  ``ProcessorConfig.to_dict()``, so identical cells are never
+  re-simulated across runs, benches, or processes.
+
+The simulator is fully deterministic, so all three paths (serial,
+parallel, cached) produce identical :class:`SimResult` grids.
+
+Every cell additionally appends one entry to :attr:`ExperimentRunner.
+manifest` -- config dict, cycles, IPC, counter snapshot, wall-time, and
+cache hit/miss -- which the figure layer and the benches consume instead
+of ad-hoc prints (see :func:`repro.harness.figures.manifest_table`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..isa.interp import RetireRecord, run_program
 from ..isa.program import Program
 from ..pipeline.config import ProcessorConfig
 from ..pipeline.processor import Processor, SimResult
+from ..stats.counters import Counters
 from ..workloads import suites
 
 #: Default dynamic instruction budget per benchmark run.  Small enough for
@@ -23,15 +52,111 @@ DEFAULT_SCALE = 20_000
 #: Upper bound on architectural execution (guards against kernel bugs).
 TRACE_LIMIT = 5_000_000
 
+#: Bump whenever the simulator's observable behaviour or the cached
+#: payload layout changes; every existing cache entry is invalidated.
+CACHE_FORMAT = 1
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def cache_key(benchmark: str, scale: int, config: ProcessorConfig) -> str:
+    """Content hash identifying one grid cell.
+
+    The hash covers the benchmark name, the scale, the cache format
+    version, and the full canonical config dict *except* ``name``:
+    the name is a display label, so two differently named but otherwise
+    identical configurations share one cache entry.
+    """
+    payload = config.to_dict()
+    payload.pop("name", None)
+    canonical = json.dumps(
+        {"format": CACHE_FORMAT, "benchmark": benchmark, "scale": scale,
+         "config": payload},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """One-JSON-file-per-result cache under a directory.
+
+    Files are written atomically (temp file + rename) so concurrent
+    runners sharing a cache directory can only ever observe complete
+    entries; unreadable or corrupt entries read as misses.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        try:
+            payload = json.loads(self.path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("format") != CACHE_FORMAT:
+            return None
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self.path(key)
+        tmp = final.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(final)
+
+
+def _simulate_cell(program: Program, trace: List[RetireRecord],
+                   config: ProcessorConfig) -> dict:
+    """Simulate one grid cell; returns the cacheable payload dict.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it; the golden
+    trace arrives prebuilt from the parent process.
+    """
+    started = time.perf_counter()
+    result = Processor(program, config, trace=trace).run()
+    return {
+        "format": CACHE_FORMAT,
+        "program_name": result.program_name,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "counters": result.counters.as_dict(),
+        "wall_time": time.perf_counter() - started,
+    }
+
+
+def _simulate_task(task: Tuple[Program, List[RetireRecord],
+                               ProcessorConfig]) -> dict:
+    """Single-argument adapter for ``ProcessPoolExecutor.map``."""
+    return _simulate_cell(*task)
+
 
 class ExperimentRunner:
-    """Runs (benchmark x configuration) grids with golden-trace caching."""
+    """Runs (benchmark x configuration) grids with golden-trace reuse,
+    process-pool parallelism, and persistent result caching."""
 
-    def __init__(self, scale: int = DEFAULT_SCALE, verbose: bool = False):
+    def __init__(self, scale: int = DEFAULT_SCALE, verbose: bool = False,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 use_cache: bool = True):
         self.scale = scale
         self.verbose = verbose
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if use_cache:
+            self.cache: Optional[ResultCache] = ResultCache(
+                cache_dir or os.environ.get("REPRO_CACHE_DIR",
+                                            DEFAULT_CACHE_DIR))
+        else:
+            self.cache = None
+        #: One dict per completed cell, in completion order.
+        self.manifest: List[dict] = []
         self._programs: Dict[str, Program] = {}
         self._traces: Dict[str, List[RetireRecord]] = {}
+
+    # ------------------------------------------------------------ workloads
 
     def program(self, benchmark: str) -> Program:
         if benchmark not in self._programs:
@@ -44,26 +169,126 @@ class ExperimentRunner:
                                                   TRACE_LIMIT)
         return self._traces[benchmark]
 
+    # ------------------------------------------------------------ single cell
+
     def run(self, benchmark: str, config: ProcessorConfig) -> SimResult:
-        """Simulate one benchmark under one configuration."""
-        result = Processor(self.program(benchmark), config,
-                           trace=self.trace(benchmark)).run()
-        if self.verbose:
-            print(f"  {benchmark:<10s} {config.name:<28s} "
-                  f"IPC={result.ipc:.3f}")
-        return result
+        """Simulate one benchmark under one configuration (serial,
+        in-process), consulting and filling the result cache."""
+        key = cache_key(benchmark, self.scale, config)
+        payload = self.cache.load(key) if self.cache else None
+        hit = payload is not None
+        if payload is None:
+            payload = _simulate_cell(self.program(benchmark),
+                                     self.trace(benchmark), config)
+            if self.cache:
+                self.cache.store(key, payload)
+        self._record(benchmark, config, payload, key, hit)
+        return self._rehydrate(config, payload)
+
+    # ------------------------------------------------------------ grids
 
     def run_suite(self, benchmarks: Iterable[str],
-                  configs: Iterable[ProcessorConfig]
+                  configs: Iterable[ProcessorConfig],
+                  jobs: Optional[int] = None
                   ) -> Dict[Tuple[str, str], SimResult]:
-        """Run the full grid; keys are ``(benchmark, config.name)``."""
+        """Run the full grid; keys are ``(benchmark, config.name)``.
+
+        Cached cells are resolved up front; the remainder is simulated
+        serially (``jobs=1``) or farmed out to a process pool.  The
+        returned grid is identical in all modes.
+        """
+        benchmarks = list(benchmarks)
         configs = list(configs)
+        jobs = self.jobs if jobs is None else jobs
         results: Dict[Tuple[str, str], SimResult] = {}
+        pending: List[Tuple[str, ProcessorConfig, str]] = []
         for benchmark in benchmarks:
             for config in configs:
-                results[(benchmark, config.name)] = self.run(benchmark,
-                                                             config)
+                key = cache_key(benchmark, self.scale, config)
+                payload = self.cache.load(key) if self.cache else None
+                if payload is not None:
+                    self._record(benchmark, config, payload, key, True)
+                    results[(benchmark, config.name)] = \
+                        self._rehydrate(config, payload)
+                else:
+                    pending.append((benchmark, config, key))
+
+        if len(pending) <= 1 or jobs <= 1:
+            for benchmark, config, key in pending:
+                payload = _simulate_cell(self.program(benchmark),
+                                         self.trace(benchmark), config)
+                results[(benchmark, config.name)] = self._finish(
+                    benchmark, config, key, payload)
+            return results
+
+        # Build every needed golden trace once, in the parent, before the
+        # pool forks, so workers inherit/receive them instead of
+        # re-interpreting the program per cell.
+        tasks = [(self.program(benchmark), self.trace(benchmark), config)
+                 for benchmark, config, _ in pending]
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))) as pool:
+            for (benchmark, config, key), payload in zip(
+                    pending, pool.map(_simulate_task, tasks)):
+                results[(benchmark, config.name)] = self._finish(
+                    benchmark, config, key, payload)
         return results
+
+    # ------------------------------------------------------------ manifest
+
+    def write_manifest(self, path: Union[str, Path]) -> Path:
+        """Archive the run manifest as JSON; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.manifest, indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for entry in self.manifest if entry["cache_hit"])
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for entry in self.manifest if not entry["cache_hit"])
+
+    # ------------------------------------------------------------ internals
+
+    def _finish(self, benchmark: str, config: ProcessorConfig, key: str,
+                payload: dict) -> SimResult:
+        if self.cache:
+            self.cache.store(key, payload)
+        self._record(benchmark, config, payload, key, False)
+        return self._rehydrate(config, payload)
+
+    def _rehydrate(self, config: ProcessorConfig,
+                   payload: dict) -> SimResult:
+        return SimResult(payload["program_name"], config,
+                         payload["cycles"], payload["instructions"],
+                         Counters.from_dict(payload["counters"]))
+
+    def _record(self, benchmark: str, config: ProcessorConfig,
+                payload: dict, key: str, hit: bool) -> None:
+        cycles = payload["cycles"]
+        instructions = payload["instructions"]
+        entry = {
+            "benchmark": benchmark,
+            "config_name": config.name,
+            "config": config.to_dict(),
+            "scale": self.scale,
+            "key": key,
+            "cycles": cycles,
+            "instructions": instructions,
+            "ipc": instructions / cycles if cycles else 0.0,
+            "counters": dict(payload["counters"]),
+            "wall_time": payload["wall_time"],
+            "cache_hit": hit,
+        }
+        self.manifest.append(entry)
+        if self.verbose:
+            origin = "cache" if hit else f"{entry['wall_time']:.2f}s"
+            print(f"  {benchmark:<10s} {config.name:<28s} "
+                  f"IPC={entry['ipc']:.3f} [{origin}]")
 
 
 def normalized_ipc(results: Dict[Tuple[str, str], SimResult],

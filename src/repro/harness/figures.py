@@ -67,6 +67,32 @@ class FigureResult:
         return "\n".join(lines)
 
 
+def manifest_table(runner: ExperimentRunner) -> str:
+    """Observability table over a runner's per-cell manifest.
+
+    One row per completed grid cell -- IPC, cycles, simulation wall-time,
+    and cache hit/miss -- plus a totals line.  The benches archive this
+    (and the raw manifest JSON) instead of ad-hoc prints.
+    """
+    lines = ["engine manifest: per-cell runs",
+             "-" * 30,
+             f"{'benchmark':<12s}{'config':<30s}{'IPC':>7}  "
+             f"{'cycles':>10}  {'wall(s)':>8}  cache"]
+    for entry in runner.manifest:
+        lines.append(
+            f"{entry['benchmark']:<12s}{entry['config_name']:<30s}"
+            f"{entry['ipc']:>7.3f}  {entry['cycles']:>10d}  "
+            f"{entry['wall_time']:>8.2f}  "
+            f"{'hit' if entry['cache_hit'] else 'miss'}")
+    simulated = sum(e["wall_time"] for e in runner.manifest
+                    if not e["cache_hit"])
+    lines.append(f"{len(runner.manifest)} cells: "
+                 f"{runner.cache_hits} cache hits, "
+                 f"{runner.cache_misses} simulated "
+                 f"({simulated:.2f}s simulation time)")
+    return "\n".join(lines)
+
+
 def figure5(scale: int = 20_000,
             benchmarks: Optional[Sequence[str]] = None,
             runner: Optional[ExperimentRunner] = None) -> FigureResult:

@@ -11,12 +11,16 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core import registry
 from ..core.lsq import LSQConfig
 from ..core.mdt import MDTConfig
 from ..core.predictors import ENF, PredictorConfig
 from ..core.sfc import SFCConfig
 from ..core.subsystem import OUTPUT_RECOVERY_FLUSH
 
+#: Names of the built-in subsystems (kept as conveniences; the source of
+#: truth is :mod:`repro.core.registry`, which any number of additional
+#: subsystems may join via ``@register_subsystem``).
 SUBSYSTEM_LSQ = "lsq"
 SUBSYSTEM_SFC_MDT = "sfc_mdt"
 SUBSYSTEM_LOAD_REPLAY = "load_replay"
@@ -45,16 +49,13 @@ class ProcessorConfig:
         max_cycles: int = 50_000_000,
         name: str = "",
     ):
-        if subsystem not in (SUBSYSTEM_LSQ, SUBSYSTEM_SFC_MDT,
-                             SUBSYSTEM_LOAD_REPLAY):
-            raise ValueError(f"unknown subsystem {subsystem!r}")
         self.width = width
         self.fetch_branches_per_cycle = fetch_branches_per_cycle
         self.rob_size = rob_size
         self.sched_size = sched_size
         self.num_fus = num_fus
         self.mispredict_penalty = mispredict_penalty
-        self.subsystem = subsystem
+        self.subsystem = registry.validate(subsystem)
         self.lsq = lsq if lsq is not None else LSQConfig()
         self.sfc = sfc if sfc is not None else SFCConfig()
         self.mdt = mdt if mdt is not None else MDTConfig()
@@ -66,6 +67,22 @@ class ProcessorConfig:
         self.branch_seed = branch_seed
         self.max_cycles = max_cycles
         self.name = name or subsystem
+
+    def to_dict(self) -> dict:
+        """Canonical, JSON-serializable view of every knob.
+
+        Derived from ``vars(self)`` so a newly added field can never be
+        forgotten; nested configuration records serialize through their
+        own ``to_dict``.  The experiment engine hashes this dict (minus
+        ``name``, which is a display label, not a simulation parameter)
+        to key its persistent result cache.
+        """
+        out = {}
+        for field in sorted(vars(self)):
+            value = getattr(self, field)
+            out[field] = value.to_dict() if hasattr(value, "to_dict") \
+                else value
+        return out
 
     def __repr__(self) -> str:
         sub = self.lsq if self.subsystem == SUBSYSTEM_LSQ \

@@ -25,14 +25,9 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from ..branch.gshare import GsharePredictor
+from ..core import registry
 from ..core.predictors import DependenceTagFile, ProducerSetPredictor
-from ..core.load_replay import LoadReplaySubsystem
-from ..core.subsystem import (
-    REPLAY,
-    LSQSubsystem,
-    MemorySubsystem,
-    SfcMdtSubsystem,
-)
+from ..core.subsystem import REPLAY
 from ..isa import instructions as ops
 from ..isa.instructions import MASK64, sign_extend
 from ..isa.interp import RetireRecord, branch_taken, execute_op, run_program
@@ -40,7 +35,7 @@ from ..isa.program import INSTRUCTION_BYTES, Program
 from ..memory.cache import paper_hierarchy
 from ..memory.main_memory import MainMemory
 from ..stats.counters import Counters
-from .config import SUBSYSTEM_LOAD_REPLAY, SUBSYSTEM_LSQ, ProcessorConfig
+from .config import ProcessorConfig
 from .dyninst import DynInst
 from .rename import RenameTable
 from .scheduler import Scheduler
@@ -82,6 +77,16 @@ class SimResult:
     def rate(self, numerator: str, denominator: str) -> float:
         return self.counters.rate(numerator, denominator)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (result cache / run manifests)."""
+        return {
+            "program_name": self.program_name,
+            "config": self.config.to_dict(),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "counters": self.counters.as_dict(),
+        }
+
     def __repr__(self) -> str:
         return (f"SimResult({self.program_name} on {self.config.name}: "
                 f"IPC={self.ipc:.3f}, {self.instructions} insts, "
@@ -102,7 +107,9 @@ class Processor:
         self.memory = MainMemory()
         self.memory.load_segments(program.data)
         self.hierarchy = paper_hierarchy()
-        self.subsystem = self._build_subsystem()
+        self.subsystem = registry.build(config.subsystem, config,
+                                        self.memory, self.hierarchy,
+                                        self.counters)
         self.tag_file = DependenceTagFile()
         self.predictor = ProducerSetPredictor(config.predictor,
                                               self.counters)
@@ -128,21 +135,6 @@ class Processor:
         self._fetch_stall_until = 0
         self._fetch_progress = False
         self._last_evictions = 0
-
-    # ------------------------------------------------------------------ setup
-
-    def _build_subsystem(self) -> MemorySubsystem:
-        config = self.config
-        if config.subsystem == SUBSYSTEM_LSQ:
-            return LSQSubsystem(config.lsq, self.memory, self.hierarchy,
-                                self.counters)
-        if config.subsystem == SUBSYSTEM_LOAD_REPLAY:
-            return LoadReplaySubsystem(config.lsq, self.memory,
-                                       self.hierarchy, self.counters)
-        return SfcMdtSubsystem(
-            config.sfc, config.mdt, self.memory, self.hierarchy,
-            self.counters, store_fifo_capacity=config.store_fifo_capacity,
-            output_recovery=config.output_recovery)
 
     # ------------------------------------------------------------------ run
 

@@ -50,6 +50,14 @@ class Counters:
     def as_dict(self) -> Dict[str, float]:
         return dict(self._values)
 
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "Counters":
+        """Rebuild a registry from :meth:`as_dict` output (result cache,
+        cross-process experiment results)."""
+        counters = cls()
+        counters._values.update(values)
+        return counters
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v:g}" for k, v in sorted(
             self._values.items()))

@@ -1,0 +1,211 @@
+"""Tests for the parallel experiment engine and its persistent cache."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.harness import baseline_lsq_config, baseline_sfc_mdt_config
+from repro.harness.experiment import (
+    ExperimentRunner,
+    ResultCache,
+    cache_key,
+)
+from repro.harness.figures import manifest_table
+
+BENCHMARKS = ["gap", "crafty"]
+SCALE = 1200
+
+
+def configs():
+    return [baseline_lsq_config(), baseline_sfc_mdt_config()]
+
+
+def grid_snapshot(results):
+    """Comparable view of a result grid: every architected number."""
+    return {
+        f"{benchmark}/{name}": (result.cycles, result.instructions,
+                                sorted(result.counters.as_dict().items()))
+        for (benchmark, name), result in results.items()
+    }
+
+
+class TestCacheKey:
+    def test_key_is_deterministic(self):
+        assert cache_key("gap", SCALE, baseline_lsq_config()) == \
+            cache_key("gap", SCALE, baseline_lsq_config())
+
+    def test_key_ignores_display_name(self):
+        named = baseline_lsq_config(name="a-pretty-label")
+        assert cache_key("gap", SCALE, named) == \
+            cache_key("gap", SCALE, baseline_lsq_config())
+
+    def test_key_covers_benchmark_and_scale(self):
+        config = baseline_lsq_config()
+        base = cache_key("gap", SCALE, config)
+        assert cache_key("crafty", SCALE, config) != base
+        assert cache_key("gap", SCALE + 1, config) != base
+
+    def test_key_stable_across_processes(self):
+        """The content hash must not depend on interpreter state (dict
+        order, hash randomization, object ids)."""
+        config = baseline_sfc_mdt_config()
+        here = cache_key("gap", SCALE, config)
+        script = (
+            "from repro.harness import baseline_sfc_mdt_config\n"
+            "from repro.harness.experiment import cache_key\n"
+            f"print(cache_key('gap', {SCALE}, baseline_sfc_mdt_config()))\n")
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "random"
+        there = subprocess.run(
+            [sys.executable, "-c", script], env=env, text=True,
+            capture_output=True, check=True).stdout.strip()
+        assert there == here
+
+    def test_key_changes_when_any_config_field_changes(self):
+        """Every simulation parameter participates in the cache key."""
+        def perturbed(value):
+            if isinstance(value, bool):
+                return not value
+            if isinstance(value, int):
+                return value * 2 + 2  # preserves power-of-two-ness
+            if isinstance(value, float):
+                return value / 2 + 0.01
+            if isinstance(value, str):
+                perturbations = {"lsq": "sfc_mdt", "flush": "corrupt",
+                                 "LSQ": "ENF", "mask": "endpoints"}
+                return perturbations[value]
+            raise AssertionError(f"unhandled field type: {value!r}")
+
+        base = cache_key("gap", SCALE, baseline_lsq_config())
+        reference = baseline_lsq_config().to_dict()
+        seen = set()
+        for field, value in reference.items():
+            if field == "name":
+                continue
+            config = baseline_lsq_config()
+            if isinstance(value, dict):  # nested config record
+                nested = getattr(config, field)
+                for sub_field in value:
+                    setattr(nested, sub_field,
+                            perturbed(value[sub_field]))
+                    key = cache_key("gap", SCALE, config)
+                    assert key != base, f"{field}.{sub_field}"
+                    assert key not in seen, f"{field}.{sub_field}"
+                    seen.add(key)
+                    setattr(nested, sub_field, value[sub_field])
+            else:
+                setattr(config, field, perturbed(value))
+                key = cache_key("gap", SCALE, config)
+                assert key != base, field
+                assert key not in seen, field
+                seen.add(key)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"format": 1, "cycles": 7}
+        cache.store("k" * 64, payload)
+        assert cache.load("k" * 64) == payload
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).load("nope") is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("bad").parent.mkdir(parents=True, exist_ok=True)
+        cache.path("bad").write_text("{not json")
+        assert cache.load("bad") is None
+
+    def test_foreign_format_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("old", {"format": -1, "cycles": 7})
+        assert cache.load("old") is None
+
+
+class TestEngineGrids:
+    def test_serial_and_parallel_grids_identical(self, tmp_path):
+        serial = ExperimentRunner(scale=SCALE, use_cache=False)
+        parallel = ExperimentRunner(scale=SCALE, use_cache=False)
+        a = serial.run_suite(BENCHMARKS, configs(), jobs=1)
+        b = parallel.run_suite(BENCHMARKS, configs(), jobs=4)
+        assert grid_snapshot(a) == grid_snapshot(b)
+        assert serial.cache_misses == parallel.cache_misses == 4
+
+    def test_warm_cache_grid_identical_and_simulation_free(self, tmp_path):
+        cold = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        a = cold.run_suite(BENCHMARKS, configs(), jobs=2)
+        assert cold.cache_hits == 0 and cold.cache_misses == 4
+
+        warm = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        b = warm.run_suite(BENCHMARKS, configs(), jobs=2)
+        assert warm.cache_hits == 4 and warm.cache_misses == 0
+        assert grid_snapshot(a) == grid_snapshot(b)
+        # No program/trace was ever built on the warm path.
+        assert not warm._programs and not warm._traces
+
+    def test_single_run_fills_and_hits_cache(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        first = runner.run("gap", baseline_lsq_config())
+        second = runner.run("gap", baseline_lsq_config())
+        assert second.cycles == first.cycles
+        assert [e["cache_hit"] for e in runner.manifest] == [False, True]
+
+    def test_cache_shared_between_run_and_run_suite(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        runner.run("gap", baseline_lsq_config())
+        runner.run_suite(["gap"], configs())
+        hits = [e["cache_hit"] for e in runner.manifest]
+        assert hits == [False, True, False]
+
+    def test_config_field_change_invalidates_cache(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        runner.run("gap", baseline_lsq_config())
+        changed = baseline_lsq_config()
+        changed.rob_size = 64
+        runner.run("gap", changed)
+        assert [e["cache_hit"] for e in runner.manifest] == [False, False]
+
+    def test_jobs_default_comes_from_cpu_count(self):
+        assert ExperimentRunner(scale=SCALE).jobs == (os.cpu_count() or 1)
+        assert ExperimentRunner(scale=SCALE, jobs=3).jobs == 3
+
+
+class TestManifest:
+    def test_manifest_entry_schema(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        result = runner.run("gap", baseline_lsq_config())
+        (entry,) = runner.manifest
+        assert entry["benchmark"] == "gap"
+        assert entry["config_name"] == baseline_lsq_config().name
+        assert entry["config"] == baseline_lsq_config().to_dict()
+        assert entry["cycles"] == result.cycles
+        assert entry["ipc"] == pytest.approx(result.ipc)
+        assert entry["counters"] == result.counters.as_dict()
+        assert entry["wall_time"] > 0
+        assert entry["cache_hit"] is False
+        assert entry["key"] == cache_key("gap", SCALE,
+                                         baseline_lsq_config())
+
+    def test_write_manifest_json(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        runner.run("gap", baseline_lsq_config())
+        path = runner.write_manifest(tmp_path / "out" / "manifest.json")
+        loaded = json.loads(path.read_text())
+        assert len(loaded) == 1 and loaded[0]["benchmark"] == "gap"
+
+    def test_manifest_table_renders(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        runner.run("gap", baseline_lsq_config())
+        runner.run("gap", baseline_lsq_config())
+        text = manifest_table(runner)
+        assert "gap" in text
+        assert "hit" in text and "miss" in text
+        assert "1 cache hits, 1 simulated" in text
