@@ -1,0 +1,79 @@
+"""Measure single-process simulator throughput for the hot-path bench.
+
+Runs the full default grid (6 benchmarks x 4 configurations, the same
+grid the bit-exactness gate hashes) serially and uncached, twice:
+
+* both passes must produce identical result-manifest digests (the
+  simulator is deterministic, so any drift is a bug);
+* the faster pass is recorded to
+  ``benchmarks/results/BENCH_hotpath_optimization.txt`` together with
+  the archived pre-optimization baseline for the speedup ratio.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/measure_hotpath.py
+"""
+
+import os
+import sys
+from pathlib import Path
+
+from repro import perf
+from repro.harness import configs as C
+
+BENCHMARKS = ("gzip", "gap", "mcf", "crafty", "swim", "applu")
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "4000"))
+RESULTS = Path(__file__).parent / "results" / \
+    "BENCH_hotpath_optimization.txt"
+
+#: Seed-tree throughput on the reference host (commit 7d44b04, this
+#: grid, jobs=1, no cache): the PR's before-number.  Re-measure with
+#: ``git stash`` / checkout of the seed tree when moving hosts.
+BASELINE_INSTS_PER_SEC = 49_423
+
+
+def configs():
+    return [C.baseline_lsq_config(), C.baseline_sfc_mdt_config(),
+            C.aggressive_sfc_mdt_config(),
+            C.aggressive_load_replay_config()]
+
+
+def main():
+    runs = [perf.measure_throughput(BENCHMARKS, configs(), scale=SCALE)
+            for _ in range(2)]
+    digests = {run.manifest_digest for run in runs}
+    assert len(digests) == 1, \
+        f"non-deterministic manifests: {sorted(digests)}"
+    best = max(runs, key=lambda run: run.insts_per_sec)
+    speedup = best.insts_per_sec / BASELINE_INSTS_PER_SEC
+
+    lines = [
+        "BENCH hotpath_optimization: single-process simulated "
+        "instructions per second",
+        f"grid: {len(BENCHMARKS)} benchmarks x {len(configs())} configs, "
+        f"scale={SCALE}, jobs=1, cache disabled",
+        f"host: {os.cpu_count()} cpu(s), python "
+        f"{sys.version.split()[0]}",
+        "",
+        f"baseline (seed, commit 7d44b04): "
+        f"{BASELINE_INSTS_PER_SEC:>7,} insts/s",
+        f"optimized (this tree):           "
+        f"{best.insts_per_sec:>7,.0f} insts/s",
+        f"speedup:                         {speedup:>7.2f}x",
+        "",
+        f"us per simulated instruction: {best.usec_per_inst:.2f}",
+        f"result-manifest sha256 (identical across both passes): "
+        f"{best.manifest_digest}",
+        "",
+        best.format(),
+    ]
+    text = "\n".join(lines) + "\n"
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(text)
+    print(text)
+    print(f"wrote {RESULTS}")
+    return best
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,9 @@ Subcommands
     Run one benchmark under several configurations side by side.
 ``figure NAME``
     Regenerate one of the paper's figures/tables.
+``bench``
+    Measure simulator throughput (instructions/sec); ``--profile`` adds
+    the top-N hot functions from cProfile.
 
 ``run``, ``compare``, and ``figure`` share the experiment-engine flags:
 ``--jobs N`` simulates uncached grid cells on N worker processes
@@ -25,6 +28,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from . import perf
 from .core import registry
 from .harness import configs as config_presets
 from .harness import figures
@@ -110,6 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default 8000; the archived results use "
                              "20000)")
     _add_engine_flags(figure)
+
+    bench = sub.add_parser(
+        "bench", help="measure simulator throughput (insts/sec)")
+    bench.add_argument("--benchmarks", nargs="+",
+                       default=sorted(ALL_BENCHMARKS),
+                       choices=sorted(ALL_BENCHMARKS))
+    bench.add_argument("--configs", nargs="+",
+                       default=["baseline-lsq", "baseline-sfc-mdt"],
+                       choices=sorted(CONFIGS))
+    bench.add_argument("--scale", type=int, default=4_000,
+                       help="dynamic instruction budget per cell "
+                            "(default 4000)")
+    bench.add_argument("--profile", action="store_true",
+                       help="also run the grid under cProfile and show "
+                            "the hottest functions")
+    bench.add_argument("--top", type=int, default=15,
+                       help="hot functions to show with --profile "
+                            "(default 15)")
     return parser
 
 
@@ -157,6 +179,19 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    configs = [CONFIGS[name]() for name in args.configs]
+    report = perf.measure_throughput(args.benchmarks, configs,
+                                     scale=args.scale)
+    print(report.format())
+    if args.profile:
+        profile = perf.profile_suite(args.benchmarks, configs,
+                                     scale=args.scale)
+        print()
+        print(profile.format(top_n=args.top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -167,6 +202,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return 2
 
 

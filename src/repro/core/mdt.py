@@ -25,9 +25,18 @@ Entries may be *tagged* (set-associative; a set conflict replays the
 instruction) or *untagged* (all addresses mapping to a set share it, so
 aliasing produces spurious violations -- the paper's cheaper variant).
 
-Partial pipeline flushes leave the MDT untouched; canceled sequence
-numbers make it conservative, and watermark scrubbing reclaims entries
-whose numbers are all older than the oldest in-flight instruction.
+A multi-granule access is *atomic*: every granule is probed for a set
+conflict before any granule is updated, so a replayed (conflicting)
+access leaves no side effects behind and re-applying it is idempotent.
+
+Partial pipeline flushes leave the recorded sequence numbers untouched;
+canceled numbers make the table conservative, and watermark scrubbing
+reclaims entries whose numbers are all older than the oldest in-flight
+instruction.  The one exception is the Section 2.4.1 *counted-load*
+state: the per-granule set of completed-but-not-retired load numbers
+drops canceled numbers on a partial flush, because a canceled load never
+retires and a stale member would otherwise disable counted-load recovery
+for that granule forever.
 """
 
 from __future__ import annotations
@@ -74,32 +83,39 @@ class MDTConfig:
 
 class _MDTEntry:
     __slots__ = ("tag", "load_seq", "store_seq", "load_pc", "store_pc",
-                 "load_count")
+                 "load_seqs")
 
-    def __init__(self, tag: int):
+    def __init__(self, tag: int, counted: bool):
         self.tag = tag
         self.load_seq = -1      # -1 encodes "invalid"
         self.store_seq = -1
         self.load_pc = 0
         self.store_pc = 0
-        self.load_count = 0     # completed-but-not-retired loads (§2.4.1)
+        #: Completed-but-not-retired load sequence numbers (§2.4.1).
+        #: Only maintained under counted-load recovery; a set (rather
+        #: than a bare count) keeps replayed accesses idempotent and
+        #: canceled loads removable.
+        self.load_seqs: Optional[set] = set() if counted else None
 
 
 class AccessResult:
     """Outcome of one MDT access.
 
     ``status`` is ``MDT_OK`` or ``MDT_CONFLICT`` (replay).  ``violations``
-    lists every dependence violation detected (empty when none).
+    is an immutable tuple of every dependence violation detected (empty
+    when none) -- immutable because no-violation results are shared
+    singletons.
     """
 
     __slots__ = ("status", "violations")
 
-    def __init__(self, status: str, violations: List[Violation]):
+    def __init__(self, status: str, violations: Tuple[Violation, ...]):
         self.status = status
         self.violations = violations
 
 
-_OK_NO_VIOLATION = AccessResult(MDT_OK, [])
+_OK_NO_VIOLATION = AccessResult(MDT_OK, ())
+_CONFLICT = AccessResult(MDT_CONFLICT, ())
 
 
 class MemoryDisambiguationTable:
@@ -110,16 +126,23 @@ class MemoryDisambiguationTable:
         self.counters = counters if counters is not None else Counters()
         self._set_mask = config.num_sets - 1
         self._granule_shift = config.granularity.bit_length() - 1
+        self._tagged = config.tagged
+        self._assoc = config.assoc
+        self._counted = config.counted_load_recovery
         self._sets: List[List[_MDTEntry]] = [
             [] for _ in range(config.num_sets)]
         self.eviction_events = 0
+        # Interned handles for the unconditional per-access counters
+        # (rare events -- conflicts, violations -- stay on incr()).
+        self._c_load_accesses = self.counters.cell("mdt_load_accesses")
+        self._c_store_accesses = self.counters.cell("mdt_store_accesses")
 
     # -- internals --------------------------------------------------------------
 
-    def _granules(self, addr: int, size: int) -> List[int]:
+    def _granules(self, addr: int, size: int) -> range:
         first = addr >> self._granule_shift
         last = (addr + size - 1) >> self._granule_shift
-        return list(range(first, last + 1))
+        return range(first, last + 1)
 
     def _lookup(self, granule: int, watermark: int,
                 allocate: bool) -> Tuple[Optional[_MDTEntry], bool]:
@@ -130,13 +153,13 @@ class MemoryDisambiguationTable:
         ``allocate`` is False.
         """
         ways = self._sets[granule & self._set_mask]
-        if not self.config.tagged:
+        if not self._tagged:
             # Untagged MDT: one shared entry per set; aliasing is accepted.
             if ways:
                 return ways[0], False
             if not allocate:
                 return None, False
-            entry = _MDTEntry(granule)
+            entry = _MDTEntry(granule, self._counted)
             ways.append(entry)
             return entry, False
         for entry in ways:
@@ -144,13 +167,66 @@ class MemoryDisambiguationTable:
                 return entry, False
         if not allocate:
             return None, False
-        if len(ways) >= self.config.assoc:
+        if len(ways) >= self._assoc:
             self._scrub_set(ways, watermark)
-        if len(ways) >= self.config.assoc:
+        if len(ways) >= self._assoc:
             return None, True
-        entry = _MDTEntry(granule)
+        entry = _MDTEntry(granule, self._counted)
         ways.append(entry)
         return entry, False
+
+    def _resolve_atomic(self, first: int, last: int, watermark: int
+                        ) -> Optional[List[_MDTEntry]]:
+        """Find-or-allocate the entries of a multi-granule access.
+
+        Probes *every* granule for set conflicts before allocating
+        anything, so a conflicting access (which the memory unit will
+        replay) leaves the table untouched.  Returns None on conflict.
+        """
+        sets = self._sets
+        set_mask = self._set_mask
+        counted = self._counted
+        if not self._tagged:
+            entries = []
+            for granule in range(first, last + 1):
+                ways = sets[granule & set_mask]
+                if ways:
+                    entries.append(ways[0])
+                else:
+                    entry = _MDTEntry(granule, counted)
+                    ways.append(entry)
+                    entries.append(entry)
+            return entries
+        assoc = self._assoc
+        # Probe phase: count the allocations each set needs; scrub and
+        # bail (all-or-nothing) if any set cannot take them.
+        pending: dict = {}
+        for granule in range(first, last + 1):
+            ways = sets[granule & set_mask]
+            for entry in ways:
+                if entry.tag == granule:
+                    break
+            else:
+                index = granule & set_mask
+                needed = pending.get(index, 0) + 1
+                if len(ways) + needed > assoc:
+                    self._scrub_set(ways, watermark)
+                    if len(ways) + needed > assoc:
+                        return None
+                pending[index] = needed
+        # Commit phase: every allocation is now guaranteed to fit.
+        entries = []
+        for granule in range(first, last + 1):
+            ways = sets[granule & set_mask]
+            for entry in ways:
+                if entry.tag == granule:
+                    entries.append(entry)
+                    break
+            else:
+                entry = _MDTEntry(granule, counted)
+                ways.append(entry)
+                entries.append(entry)
+        return entries
 
     def _scrub_set(self, ways: List[_MDTEntry], watermark: int) -> None:
         alive = [e for e in ways
@@ -164,16 +240,30 @@ class MemoryDisambiguationTable:
     def access_load(self, addr: int, size: int, seq: int, pc: int,
                     watermark: int) -> AccessResult:
         """A load has computed its address and consults the MDT."""
-        self.counters.incr("mdt_load_accesses")
-        violations: List[Violation] = []
-        for granule in self._granules(addr, size):
-            entry, conflicted = self._lookup(granule, watermark,
+        self._c_load_accesses.value += 1
+        shift = self._granule_shift
+        first = addr >> shift
+        last = (addr + size - 1) >> shift
+        if first == last:
+            # Fast path: the access sits in one granule (the common case),
+            # so one lookup commits directly -- trivially atomic.
+            entry, conflicted = self._lookup(first, watermark,
                                              allocate=True)
             if conflicted:
                 self.counters.incr("mdt_set_conflicts")
-                return AccessResult(MDT_CONFLICT, violations)
-            assert entry is not None
-            if entry.store_seq >= 0 and seq < entry.store_seq:
+                return _CONFLICT
+            entries = (entry,)
+        else:
+            resolved = self._resolve_atomic(first, last, watermark)
+            if resolved is None:
+                self.counters.incr("mdt_set_conflicts")
+                return _CONFLICT
+            entries = resolved
+        counted = self._counted
+        violations: List[Violation] = []
+        for entry in entries:
+            store_seq = entry.store_seq
+            if store_seq >= 0 and seq < store_seq:
                 # A younger store already completed: anti violation.  Flush
                 # the load and everything after it (Section 2.2).
                 self.counters.incr("mdt_anti_violations")
@@ -184,37 +274,55 @@ class MemoryDisambiguationTable:
             if seq >= entry.load_seq:
                 entry.load_seq = seq
                 entry.load_pc = pc
-            entry.load_count += 1
+            if counted:
+                entry.load_seqs.add(seq)
         if violations:
-            return AccessResult(MDT_OK, violations)
+            return AccessResult(MDT_OK, tuple(violations))
         return _OK_NO_VIOLATION
 
     def access_store(self, addr: int, size: int, seq: int, pc: int,
                      watermark: int) -> AccessResult:
         """A store has computed its address/data and consults the MDT."""
-        self.counters.incr("mdt_store_accesses")
-        violations: List[Violation] = []
-        for granule in self._granules(addr, size):
-            entry, conflicted = self._lookup(granule, watermark,
+        self._c_store_accesses.value += 1
+        shift = self._granule_shift
+        first = addr >> shift
+        last = (addr + size - 1) >> shift
+        if first == last:
+            entry, conflicted = self._lookup(first, watermark,
                                              allocate=True)
             if conflicted:
                 self.counters.incr("mdt_set_conflicts")
-                return AccessResult(MDT_CONFLICT, violations)
-            assert entry is not None
-            if entry.load_seq >= 0 and seq < entry.load_seq:
+                return _CONFLICT
+            entries = (entry,)
+        else:
+            resolved = self._resolve_atomic(first, last, watermark)
+            if resolved is None:
+                self.counters.incr("mdt_set_conflicts")
+                return _CONFLICT
+            entries = resolved
+        counted = self._counted
+        violations: List[Violation] = []
+        for entry in entries:
+            load_seq = entry.load_seq
+            if load_seq >= 0 and seq < load_seq:
                 # A younger load already read stale data: true violation.
                 self.counters.incr("mdt_true_violations")
-                if self.config.counted_load_recovery and \
-                        entry.load_count == 1:
-                    # §2.4.1: the tracked load is the only conflicting one;
-                    # flush from the load instead of from this store.
-                    flush_after = entry.load_seq - 1
-                else:
-                    flush_after = seq
+                flush_after = seq
+                if counted:
+                    load_seqs = entry.load_seqs
+                    if len(load_seqs) == 1:
+                        # §2.4.1: the tracked load is the only completed
+                        # conflicting one; flush from *that load's*
+                        # number (the recorded load_seq may belong to a
+                        # younger, canceled load) instead of from this
+                        # store.
+                        for only in load_seqs:
+                            flush_after = only - 1
                 violations.append(Violation(
                     TRUE_DEP, flush_after_seq=flush_after,
                     producer_pc=pc, consumer_pc=entry.load_pc))
-            if entry.store_seq >= 0 and seq < entry.store_seq:
+            store_seq = entry.store_seq
+            if store_seq >= 0 and seq < store_seq:
                 # A younger store already completed: output violation.
                 self.counters.incr("mdt_output_violations")
                 violations.append(Violation(
@@ -224,7 +332,7 @@ class MemoryDisambiguationTable:
                 entry.store_seq = seq
                 entry.store_pc = pc
         if violations:
-            return AccessResult(MDT_OK, violations)
+            return AccessResult(MDT_OK, tuple(violations))
         return _OK_NO_VIOLATION
 
     def check_store(self, addr: int, size: int, seq: int,
@@ -254,13 +362,22 @@ class MemoryDisambiguationTable:
 
     def on_load_retire(self, addr: int, size: int, seq: int) -> None:
         """A load retires: invalidate its number if still recorded."""
-        for granule in self._granules(addr, size):
-            ways = self._sets[granule & self._set_mask]
+        shift = self._granule_shift
+        set_mask = self._set_mask
+        sets = self._sets
+        tagged = self._tagged
+        counted = self._counted
+        first = addr >> shift
+        last = (addr + size - 1) >> shift
+        for granule in range(first, last + 1):
+            ways = sets[granule & set_mask]
             for i, entry in enumerate(ways):
-                if self.config.tagged and entry.tag != granule:
+                if tagged and entry.tag != granule:
                     continue
-                if entry.load_count > 0:
-                    entry.load_count -= 1
+                if counted:
+                    # discard, not remove: a ROB-head-bypassed load never
+                    # recorded itself, so its number may be absent.
+                    entry.load_seqs.discard(seq)
                 if entry.load_seq == seq:
                     entry.load_seq = -1
                 if entry.load_seq < 0 and entry.store_seq < 0:
@@ -270,10 +387,16 @@ class MemoryDisambiguationTable:
 
     def on_store_retire(self, addr: int, size: int, seq: int) -> None:
         """A store retires: invalidate its number if still recorded."""
-        for granule in self._granules(addr, size):
-            ways = self._sets[granule & self._set_mask]
+        shift = self._granule_shift
+        set_mask = self._set_mask
+        sets = self._sets
+        tagged = self._tagged
+        first = addr >> shift
+        last = (addr + size - 1) >> shift
+        for granule in range(first, last + 1):
+            ways = sets[granule & set_mask]
             for i, entry in enumerate(ways):
-                if self.config.tagged and entry.tag != granule:
+                if tagged and entry.tag != granule:
                     continue
                 if entry.store_seq == seq:
                     entry.store_seq = -1
@@ -284,8 +407,28 @@ class MemoryDisambiguationTable:
 
     # -- flush handling --------------------------------------------------------------
 
-    def on_partial_flush(self) -> None:
-        """Partial flushes leave the MDT unchanged (Section 2.2)."""
+    def on_partial_flush(self, flush_after_seq: Optional[int] = None) -> None:
+        """Handle a partial pipeline flush.
+
+        Recorded sequence numbers are left untouched (Section 2.2) --
+        canceled numbers merely make the table conservative.  The
+        §2.4.1 completed-load sets, however, must drop every canceled
+        number (``seq > flush_after_seq``): a canceled load never
+        retires, and a leaked member would inflate the count and silently
+        degrade counted-load recovery to store-flush recovery forever.
+
+        ``flush_after_seq=None`` (unknown flush point) keeps the sets
+        intact, which over-counts and therefore stays conservative.
+        """
+        if not self._counted or flush_after_seq is None:
+            return
+        for ways in self._sets:
+            if ways:
+                for entry in ways:
+                    load_seqs = entry.load_seqs
+                    if load_seqs:
+                        entry.load_seqs = {
+                            s for s in load_seqs if s <= flush_after_seq}
 
     def on_full_flush(self) -> None:
         """Full pipeline flush: nothing is in flight, drop everything."""

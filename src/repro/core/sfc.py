@@ -29,6 +29,13 @@ window (i.e. the byte really came from a canceled store).
 ``SFCConfig(corruption_mode="endpoints")`` selects that scheme; when the
 endpoint buffer overflows it falls back to a blanket corruption marking,
 keeping it conservative.
+
+Hot-path notes: line data lives in a plain int (little-endian word value)
+rather than a bytearray, byte-select masks come from precomputed tables
+indexed ``[offset][nbytes]``, and the overwhelmingly common case of an
+access contained in one aligned word takes a fast path that allocates
+nothing.  Only accesses that straddle a word boundary walk the general
+two-word loop.
 """
 
 from __future__ import annotations
@@ -51,6 +58,22 @@ SFC_CORRUPT = "corrupt"
 #: Corruption-handling schemes for partial pipeline flushes.
 CORRUPTION_MASK = "mask"            # Section 2.3: blanket corruption bits
 CORRUPTION_ENDPOINTS = "endpoints"  # Section 3.2: flush-endpoint windows
+
+#: ``_BIT_MASKS[offset][nbytes]`` -- per-byte bit mask selecting ``nbytes``
+#: bytes starting at ``offset`` (the hardware's byte-enable vector).
+_BIT_MASKS = tuple(
+    tuple(((1 << n) - 1) << o for n in range(LINE_BYTES - o + 1))
+    for o in range(LINE_BYTES))
+
+#: ``_DATA_MASKS[offset][nbytes]`` -- the same selection widened to data
+#: bits, for masking the line's integer word value.
+_DATA_MASKS = tuple(
+    tuple(((1 << (8 * n)) - 1) << (8 * o)
+          for n in range(LINE_BYTES - o + 1))
+    for o in range(LINE_BYTES))
+
+#: ``_SIZE_MASKS[size]`` -- low ``size`` bytes of a value.
+_SIZE_MASKS = tuple((1 << (8 * n)) - 1 for n in range(LINE_BYTES + 1))
 
 
 class SFCConfig:
@@ -90,7 +113,7 @@ class _SFCEntry:
 
     def __init__(self, tag: int):
         self.tag = tag                      # aligned word index (addr >> 3)
-        self.data = bytearray(LINE_BYTES)
+        self.data = 0                       # little-endian word value
         self.valid_mask = 0
         self.corrupt_mask = 0
         self.last_store_seq = -1
@@ -124,6 +147,7 @@ class StoreForwardingCache:
         self.config = config
         self.counters = counters if counters is not None else Counters()
         self._set_mask = config.num_sets - 1
+        self._assoc = config.assoc
         self._sets: List[List[_SFCEntry]] = [
             [] for _ in range(config.num_sets)]
         #: Monotone counter bumped on every entry free; the scheduler's
@@ -134,6 +158,9 @@ class StoreForwardingCache:
         #: Active flush windows [(lo, hi)] in endpoints mode: sequence
         #: numbers of canceled instructions.
         self._flush_windows: List[Tuple[int, int]] = []
+        self._c_load_lookups = self.counters.cell("sfc_load_lookups")
+        self._c_store_writes = self.counters.cell("sfc_store_writes")
+        self._c_forwards = self.counters.cell("sfc_forwards")
 
     # -- internals ------------------------------------------------------------
 
@@ -159,23 +186,39 @@ class StoreForwardingCache:
         case the memory unit replays the store (Section 2.2's structural-
         conflict rule applies to the SFC as well).
         """
-        for word, _offset, _nbytes in _split_words(addr, size):
-            if self._find(word) is not None:
-                continue
-            ways = self._sets[word & self._set_mask]
-            if len(ways) >= self.config.assoc:
-                self._scrub_set(ways, watermark)
-            if len(ways) >= self.config.assoc:
-                self.counters.incr("sfc_set_conflicts")
-                return False
-        return True
+        sets = self._sets
+        set_mask = self._set_mask
+        assoc = self._assoc
+        word = addr >> LINE_SHIFT
+        last_word = (addr + size - 1) >> LINE_SHIFT
+        while True:
+            ways = sets[word & set_mask]
+            for entry in ways:
+                if entry.tag == word:
+                    break
+            else:
+                if len(ways) >= assoc:
+                    self._scrub_set(ways, watermark)
+                if len(ways) >= assoc:
+                    self.counters.incr("sfc_set_conflicts")
+                    return False
+            if word == last_word:
+                return True
+            word += 1
 
     def store_write(self, addr: int, size: int, value: int, seq: int,
                     watermark: int = 0) -> None:
         """Write a completing store's bytes (caller must have probed)."""
-        data_bytes = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
-        consumed = 0
-        for word, offset, nbytes in _split_words(addr, size):
+        word = addr >> LINE_SHIFT
+        offset = addr & (LINE_BYTES - 1)
+        data_int = value & _SIZE_MASKS[size] if size <= LINE_BYTES \
+            else value & ((1 << (8 * size)) - 1)
+        remaining = size
+        endpoints = self._endpoints_mode
+        while remaining:
+            nbytes = LINE_BYTES - offset
+            if nbytes > remaining:
+                nbytes = remaining
             entry = self._find(word)
             if entry is None:
                 entry = _SFCEntry(word)
@@ -186,30 +229,42 @@ class StoreForwardingCache:
                 # valid/corrupt bytes.
                 entry.valid_mask = 0
                 entry.corrupt_mask = 0
-            mask = _byte_mask(offset, nbytes)
-            entry.data[offset:offset + nbytes] = \
-                data_bytes[consumed:consumed + nbytes]
+            mask = _BIT_MASKS[offset][nbytes]
+            shift = 8 * offset
+            entry.data = (entry.data & ~_DATA_MASKS[offset][nbytes]) | \
+                ((data_int & _SIZE_MASKS[nbytes]) << shift)
             entry.valid_mask |= mask
             entry.corrupt_mask &= ~mask
             if seq > entry.last_store_seq:
                 entry.last_store_seq = seq
-            if self._endpoints_mode:
-                if entry.writer_seqs is None:
-                    entry.writer_seqs = [-1] * LINE_BYTES
+            if endpoints:
+                writer_seqs = entry.writer_seqs
+                if writer_seqs is None:
+                    writer_seqs = entry.writer_seqs = [-1] * LINE_BYTES
                 for i in range(offset, offset + nbytes):
-                    entry.writer_seqs[i] = seq
-            consumed += nbytes
-        self.counters.incr("sfc_store_writes")
+                    writer_seqs[i] = seq
+            data_int >>= 8 * nbytes
+            remaining -= nbytes
+            word += 1
+            offset = 0
+        self._c_store_writes.value += 1
 
     def on_store_retire(self, addr: int, size: int, seq: int) -> None:
         """Free entries whose latest store is the retiring one."""
-        for word, _offset, _nbytes in _split_words(addr, size):
-            ways = self._sets[word & self._set_mask]
+        sets = self._sets
+        set_mask = self._set_mask
+        word = addr >> LINE_SHIFT
+        last_word = (addr + size - 1) >> LINE_SHIFT
+        while True:
+            ways = sets[word & set_mask]
             for i, entry in enumerate(ways):
                 if entry.tag == word and entry.last_store_seq == seq:
                     del ways[i]
                     self.eviction_events += 1
                     break
+            if word == last_word:
+                return
+            word += 1
 
     # -- load path ------------------------------------------------------------
 
@@ -226,29 +281,34 @@ class StoreForwardingCache:
         or canceled) are ignored: every retired value is already in memory
         and canceled bytes must not be forwarded.
         """
-        self.counters.incr("sfc_load_lookups")
-        if self._endpoints_mode:
+        self._c_load_lookups.value += 1
+        endpoints = self._endpoints_mode
+        if endpoints:
             self._prune_windows(watermark)
-        collected = bytearray(size)
+        word = addr >> LINE_SHIFT
+        offset = addr & (LINE_BYTES - 1)
+        value = 0
         consumed = 0
         valid_bytes = 0
-        for word, offset, nbytes in _split_words(addr, size):
+        remaining = size
+        while remaining:
+            nbytes = LINE_BYTES - offset
+            if nbytes > remaining:
+                nbytes = remaining
             entry = self._find(word)
-            if entry is not None and entry.last_store_seq < watermark:
-                entry = None
-            mask = _byte_mask(offset, nbytes)
-            if entry is not None:
+            if entry is not None and entry.last_store_seq >= watermark:
+                mask = _BIT_MASKS[offset][nbytes]
                 if entry.corrupt_mask & mask:
                     self.counters.incr("sfc_corrupt_hits")
                     return SFC_CORRUPT, None
                 have = entry.valid_mask & mask
-                if self._endpoints_mode and have and \
-                        entry.writer_seqs is not None:
+                if endpoints and have and entry.writer_seqs is not None:
+                    writer_seqs = entry.writer_seqs
                     for i in range(offset, offset + nbytes):
                         bit = 1 << i
                         if not have & bit:
                             continue
-                        writer = entry.writer_seqs[i]
+                        writer = writer_seqs[i]
                         if self._seq_canceled(writer):
                             # The byte came from a canceled store.
                             self.counters.incr("sfc_corrupt_hits")
@@ -258,16 +318,19 @@ class StoreForwardingCache:
                             # memory state holds the right value.
                             have &= ~bit
                 if have == mask:
-                    collected[consumed:consumed + nbytes] = \
-                        entry.data[offset:offset + nbytes]
+                    value |= ((entry.data >> (8 * offset)) &
+                              _SIZE_MASKS[nbytes]) << (8 * consumed)
                     valid_bytes += nbytes
                 elif have:
                     self.counters.incr("sfc_partial_matches")
                     return SFC_PARTIAL, None
             consumed += nbytes
+            remaining -= nbytes
+            word += 1
+            offset = 0
         if valid_bytes == size:
-            self.counters.incr("sfc_forwards")
-            return SFC_HIT, int.from_bytes(collected, "little")
+            self._c_forwards.value += 1
+            return SFC_HIT, value
         if valid_bytes:
             self.counters.incr("sfc_partial_matches")
             return SFC_PARTIAL, None
@@ -333,7 +396,7 @@ class StoreForwardingCache:
         for word, offset, nbytes in _split_words(addr, size):
             entry = self._find(word)
             if entry is not None:
-                entry.corrupt_mask |= _byte_mask(offset, nbytes)
+                entry.corrupt_mask |= _BIT_MASKS[offset][nbytes]
 
     def scrub(self, watermark: int) -> None:
         """Reclaim every dead entry (used by the stall-bit fallback)."""

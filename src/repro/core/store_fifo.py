@@ -10,7 +10,7 @@ drains its slot to memory at retirement.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 
 class _FifoSlot:
@@ -56,8 +56,12 @@ class StoreFifo:
         slot.data = data
         slot.filled = True
 
-    def retire(self, seq: int) -> Optional[_FifoSlot]:
-        """Pop the head slot; it must belong to the retiring store."""
+    def retire(self, seq: int) -> _FifoSlot:
+        """Pop the head slot; it must belong to the retiring store.
+
+        Never returns ``None``: a head mismatch (or empty FIFO) raises,
+        so callers use the slot unconditionally.
+        """
         if not self._slots or self._slots[0].seq != seq:
             raise RuntimeError(
                 f"store FIFO head mismatch: expected {seq}, "

@@ -11,7 +11,7 @@ flush.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..memory.cache import CacheHierarchy
 from ..memory.main_memory import MainMemory
@@ -48,6 +48,10 @@ class MemOutcome:
     ``train_only``: violations handled without a flush (e.g. the
     corrupt-marking output recovery) that should still train the
     dependence predictor.
+
+    Empty violation sequences default to a shared immutable tuple, so
+    violation-free outcomes can themselves be shared (see the module's
+    ``_REPLAY_*`` singletons); callers must not mutate them in place.
     """
 
     __slots__ = ("status", "value", "latency", "violations", "train_only",
@@ -55,15 +59,23 @@ class MemOutcome:
 
     def __init__(self, status: str, value: Optional[int] = None,
                  latency: int = 1,
-                 violations: Optional[List[Violation]] = None,
-                 train_only: Optional[List[Violation]] = None,
+                 violations: Optional[Sequence[Violation]] = None,
+                 train_only: Optional[Sequence[Violation]] = None,
                  replay_reason: str = ""):
         self.status = status
         self.value = value
         self.latency = latency
-        self.violations = violations or []
-        self.train_only = train_only or []
+        self.violations = violations or ()
+        self.train_only = train_only or ()
         self.replay_reason = replay_reason
+
+
+#: Interned replay outcomes -- every field is identical per replay cause,
+#: so the execute paths hand back a shared instance instead of allocating.
+_REPLAY_MDT_CONFLICT = MemOutcome(REPLAY, replay_reason="mdt_conflict")
+_REPLAY_SFC_CONFLICT = MemOutcome(REPLAY, replay_reason="sfc_conflict")
+_REPLAY_SFC_CORRUPT = MemOutcome(REPLAY, replay_reason="sfc_corrupt")
+_REPLAY_SFC_PARTIAL = MemOutcome(REPLAY, replay_reason="sfc_partial")
 
 
 class MemorySubsystem:
@@ -280,7 +292,7 @@ class SfcMdtSubsystem(MemorySubsystem):
         result = self.mdt.access_load(addr, size, seq, pc, watermark)
         if result.status == MDT_CONFLICT:
             self.counters.incr("load_replays_mdt_conflict")
-            return MemOutcome(REPLAY, replay_reason="mdt_conflict")
+            return _REPLAY_MDT_CONFLICT
         if result.violations:
             # Anti violation: the load itself is squashed by the flush,
             # so no value is produced.
@@ -294,10 +306,10 @@ class SfcMdtSubsystem(MemorySubsystem):
             return MemOutcome(DONE, value=value, latency=1)
         if status == SFC_CORRUPT:
             self.counters.incr("load_replays_sfc_corrupt")
-            return MemOutcome(REPLAY, replay_reason="sfc_corrupt")
+            return _REPLAY_SFC_CORRUPT
         if status == SFC_PARTIAL:
             self.counters.incr("load_replays_sfc_partial")
-            return MemOutcome(REPLAY, replay_reason="sfc_partial")
+            return _REPLAY_SFC_PARTIAL
         value = self.memory.read_int(addr, size)
         return MemOutcome(DONE, value=value,
                           latency=self.hierarchy.data_latency(addr))
@@ -313,12 +325,12 @@ class SfcMdtSubsystem(MemorySubsystem):
 
         if not self.sfc.probe_store(addr, size, watermark):
             self.counters.incr("store_replays_sfc_conflict")
-            return MemOutcome(REPLAY, replay_reason="sfc_conflict")
+            return _REPLAY_SFC_CONFLICT
 
         result = self.mdt.access_store(addr, size, seq, pc, watermark)
         if result.status == MDT_CONFLICT:
             self.counters.incr("store_replays_mdt_conflict")
-            return MemOutcome(REPLAY, replay_reason="mdt_conflict")
+            return _REPLAY_MDT_CONFLICT
 
         flush_violations: List[Violation] = []
         train_only: List[Violation] = []
@@ -376,7 +388,7 @@ class SfcMdtSubsystem(MemorySubsystem):
                          youngest_seq: int = -1) -> None:
         self.store_fifo.flush_after(flush_after_seq)
         self.sfc.on_partial_flush(flush_after_seq + 1, youngest_seq)
-        self.mdt.on_partial_flush()
+        self.mdt.on_partial_flush(flush_after_seq)
 
     def on_full_flush(self) -> None:
         self.store_fifo.flush_all()

@@ -110,7 +110,9 @@ class Instruction:
         for ``li``.
     """
 
-    __slots__ = ("op", "rd", "rs1", "rs2", "imm")
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm",
+                 "is_load", "is_store", "is_mem", "is_branch", "is_control",
+                 "access_size", "latency")
 
     def __init__(self, op: int, rd: int = 0, rs1: int = 0, rs2: int = 0,
                  imm: int = 0):
@@ -119,34 +121,17 @@ class Instruction:
         self.rs1 = rs1
         self.rs2 = rs2
         self.imm = imm
-
-    @property
-    def is_load(self) -> bool:
-        return self.op in LOAD_OPS
-
-    @property
-    def is_store(self) -> bool:
-        return self.op in STORE_OPS
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in MEM_OPS
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op in BRANCH_OPS
-
-    @property
-    def is_control(self) -> bool:
-        return self.op in CONTROL_OPS
-
-    @property
-    def access_size(self) -> Optional[int]:
-        return ACCESS_SIZE.get(self.op)
-
-    @property
-    def latency(self) -> int:
-        return OP_LATENCY.get(self.op, DEFAULT_LATENCY)
+        # Opcode classification, precomputed once per *static* instruction:
+        # the pipeline reads these every fetch/dispatch/execute/retire, so
+        # they must be attribute loads, not per-access set-membership
+        # properties.
+        self.is_load = op in LOAD_OPS
+        self.is_store = op in STORE_OPS
+        self.is_mem = op in MEM_OPS
+        self.is_branch = op in BRANCH_OPS
+        self.is_control = op in CONTROL_OPS
+        self.access_size: Optional[int] = ACCESS_SIZE.get(op)
+        self.latency = OP_LATENCY.get(op, DEFAULT_LATENCY)
 
     def __repr__(self) -> str:
         name = OPCODE_NAMES.get(self.op, f"op{self.op}")

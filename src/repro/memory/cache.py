@@ -61,6 +61,10 @@ class Cache:
         self.accesses += 1
         line = addr >> self._line_shift
         ways = self._sets[line & self._set_mask]
+        if ways and ways[-1] == line:
+            # Already MRU (sequential fetch / repeated access): the LRU
+            # reorder would be a no-op, skip the remove/append churn.
+            return True
         if line in ways:
             ways.remove(line)
             ways.append(line)
@@ -98,23 +102,37 @@ class CacheHierarchy:
         self.l1i = Cache(l1i)
         self.l1d = Cache(l1d)
         self.l2 = Cache(l2)
+        # Latency constants folded once; the per-access paths below are on
+        # the simulator's critical path (every fetch and every data access).
+        self._l1i_hit = l1i.hit_latency
+        self._l1i_miss = l1i.hit_latency + l1i.miss_penalty
+        self._l1d_hit = l1d.hit_latency
+        self._l1d_miss = l1d.hit_latency + l1d.miss_penalty
+        self._l2_penalty = l2.miss_penalty
 
     def data_latency(self, addr: int) -> int:
         """Latency of a data access (load or store commit) to ``addr``."""
         if self.l1d.lookup(addr):
-            return self.l1d.config.hit_latency
-        latency = self.l1d.config.hit_latency + self.l1d.config.miss_penalty
+            return self._l1d_hit
+        latency = self._l1d_miss
         if not self.l2.lookup(addr):
-            latency += self.l2.config.miss_penalty
+            latency += self._l2_penalty
         return latency
 
     def inst_latency(self, addr: int) -> int:
         """Latency of an instruction fetch from ``addr``."""
-        if self.l1i.lookup(addr):
-            return self.l1i.config.hit_latency
-        latency = self.l1i.config.hit_latency + self.l1i.config.miss_penalty
+        l1i = self.l1i
+        line = addr >> l1i._line_shift
+        ways = l1i._sets[line & l1i._set_mask]
+        if ways and ways[-1] == line:
+            # Sequential-fetch fast path: line is already MRU.
+            l1i.accesses += 1
+            return self._l1i_hit
+        if l1i.lookup(addr):
+            return self._l1i_hit
+        latency = self._l1i_miss
         if not self.l2.lookup(addr):
-            latency += self.l2.config.miss_penalty
+            latency += self._l2_penalty
         return latency
 
     def stats(self) -> Dict[str, float]:

@@ -1,0 +1,220 @@
+"""Profiling and throughput instrumentation for the simulator.
+
+The ROADMAP's north star is a simulator that "runs as fast as the
+hardware allows"; this module supplies the measurement half of that
+loop.  ``measure_throughput`` times each (benchmark, configuration)
+grid cell through the experiment engine and reports simulated
+instructions per wall-clock second; ``profile_suite`` wraps the same
+grid in ``cProfile`` and extracts the top-N hot functions.  Both drive
+the public ``repro bench [--profile]`` CLI subcommand.
+
+The companion correctness gate is ``manifest_digest``: a SHA-256 over
+the runner's canonical result manifest (config + cycles + IPC + every
+counter).  Two simulator builds that disagree on *any* architected
+outcome produce different digests, so an optimization pass is accepted
+only when the digest is unchanged while instructions/sec improves (see
+DESIGN.md, "Hot-path optimization methodology").
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import json
+import pstats
+import time
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .harness.experiment import ExperimentRunner
+from .pipeline.config import ProcessorConfig
+
+#: Manifest fields that must be bit-exact across optimization passes.
+_MANIFEST_FIELDS = ("benchmark", "config_name", "config", "scale",
+                    "cycles", "instructions", "ipc", "counters")
+
+
+class ThroughputSample:
+    """Wall-clock timing of one simulated (benchmark, config) cell."""
+
+    __slots__ = ("benchmark", "config_name", "instructions", "cycles",
+                 "wall_seconds")
+
+    def __init__(self, benchmark: str, config_name: str, instructions: int,
+                 cycles: int, wall_seconds: float):
+        self.benchmark = benchmark
+        self.config_name = config_name
+        self.instructions = instructions
+        self.cycles = cycles
+        self.wall_seconds = wall_seconds
+
+    @property
+    def insts_per_sec(self) -> float:
+        return self.instructions / self.wall_seconds \
+            if self.wall_seconds else 0.0
+
+    def __repr__(self) -> str:
+        return (f"ThroughputSample({self.benchmark}/{self.config_name}: "
+                f"{self.insts_per_sec:.0f} insts/s)")
+
+
+class ThroughputReport:
+    """Aggregate of one timed sweep over a simulation grid."""
+
+    def __init__(self, samples: List[ThroughputSample], scale: int,
+                 manifest_digest: str):
+        self.samples = samples
+        self.scale = scale
+        self.manifest_digest = manifest_digest
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(s.instructions for s in self.samples)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.samples)
+
+    @property
+    def insts_per_sec(self) -> float:
+        wall = self.total_wall_seconds
+        return self.total_instructions / wall if wall else 0.0
+
+    @property
+    def usec_per_inst(self) -> float:
+        insts = self.total_instructions
+        return 1e6 * self.total_wall_seconds / insts if insts else 0.0
+
+    def format(self) -> str:
+        lines = [
+            f"{'benchmark':<10} {'configuration':<24} {'insts':>8} "
+            f"{'wall(s)':>8} {'insts/s':>9}",
+        ]
+        for s in self.samples:
+            lines.append(
+                f"{s.benchmark:<10} {s.config_name:<24} "
+                f"{s.instructions:>8d} {s.wall_seconds:>8.3f} "
+                f"{s.insts_per_sec:>9.0f}")
+        lines += [
+            "",
+            f"total: {self.total_instructions} simulated insts in "
+            f"{self.total_wall_seconds:.3f}s = "
+            f"{self.insts_per_sec:.0f} insts/s "
+            f"({self.usec_per_inst:.2f} us/inst)",
+            f"manifest sha256: {self.manifest_digest}",
+        ]
+        return "\n".join(lines)
+
+
+class HotFunction:
+    """One row of a profile: a function and its aggregate costs."""
+
+    __slots__ = ("name", "ncalls", "tottime", "cumtime")
+
+    def __init__(self, name: str, ncalls: int, tottime: float,
+                 cumtime: float):
+        self.name = name
+        self.ncalls = ncalls
+        self.tottime = tottime
+        self.cumtime = cumtime
+
+
+class ProfileReport:
+    """cProfile summary of one simulation sweep."""
+
+    def __init__(self, functions: List[HotFunction], total_seconds: float,
+                 total_instructions: int):
+        self.functions = functions
+        self.total_seconds = total_seconds
+        self.total_instructions = total_instructions
+
+    def top(self, n: int) -> List[HotFunction]:
+        return self.functions[:n]
+
+    def format(self, top_n: int = 15) -> str:
+        insts = self.total_instructions
+        usec = 1e6 * self.total_seconds / insts if insts else 0.0
+        lines = [
+            f"profiled {insts} simulated insts in "
+            f"{self.total_seconds:.3f}s ({usec:.2f} us/inst under "
+            f"cProfile)",
+            "",
+            f"{'ncalls':>9} {'tottime':>8} {'cumtime':>8}  function",
+        ]
+        for fn in self.top(top_n):
+            lines.append(f"{fn.ncalls:>9d} {fn.tottime:>8.3f} "
+                         f"{fn.cumtime:>8.3f}  {fn.name}")
+        return "\n".join(lines)
+
+
+def manifest_digest(manifest: Iterable[dict]) -> str:
+    """SHA-256 over the canonical JSON of a runner's result manifest.
+
+    Only the architected-outcome fields participate (wall-clock and
+    cache-hit bookkeeping vary run to run); any change to a counter,
+    cycle count, or IPC changes the digest.
+    """
+    canonical = [
+        {field: entry[field] for field in _MANIFEST_FIELDS}
+        for entry in manifest
+    ]
+    text = json.dumps(canonical, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _grid(benchmarks: Sequence[str],
+          configs: Sequence[ProcessorConfig]) -> List[Tuple[str,
+                                                            ProcessorConfig]]:
+    return [(b, c) for b in benchmarks for c in configs]
+
+
+def measure_throughput(benchmarks: Sequence[str],
+                       configs: Sequence[ProcessorConfig],
+                       scale: int = 4000,
+                       runner: Optional[ExperimentRunner] = None
+                       ) -> ThroughputReport:
+    """Time every grid cell, single-process and uncached.
+
+    Caching and worker pools are disabled by default so the numbers
+    measure the simulator itself, not the engine's memoization.
+    """
+    if runner is None:
+        runner = ExperimentRunner(scale=scale, jobs=1, use_cache=False)
+    samples = []
+    for benchmark, config in _grid(benchmarks, configs):
+        start = time.perf_counter()
+        result = runner.run(benchmark, config)
+        wall = time.perf_counter() - start
+        samples.append(ThroughputSample(
+            benchmark, config.name, result.instructions, result.cycles,
+            wall))
+    return ThroughputReport(samples, runner.scale,
+                            manifest_digest(runner.manifest))
+
+
+def profile_suite(benchmarks: Sequence[str],
+                  configs: Sequence[ProcessorConfig],
+                  scale: int = 4000,
+                  runner: Optional[ExperimentRunner] = None
+                  ) -> ProfileReport:
+    """Run the grid under cProfile and rank functions by cumulative time."""
+    if runner is None:
+        runner = ExperimentRunner(scale=scale, jobs=1, use_cache=False)
+    cells = _grid(benchmarks, configs)
+    profile = cProfile.Profile()
+    start = time.perf_counter()
+    profile.enable()
+    results = [runner.run(benchmark, config)
+               for benchmark, config in cells]
+    profile.disable()
+    total_seconds = time.perf_counter() - start
+    total_instructions = sum(r.instructions for r in results)
+
+    stats = pstats.Stats(profile)
+    functions = []
+    for (filename, lineno, funcname), (_, ncalls, tottime, cumtime, _) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        short = filename.rsplit("/", 1)[-1]
+        functions.append(HotFunction(
+            f"{short}:{lineno}({funcname})", ncalls, tottime, cumtime))
+    functions.sort(key=lambda fn: fn.cumtime, reverse=True)
+    return ProfileReport(functions, total_seconds, total_instructions)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..isa.instructions import Instruction
 
@@ -18,8 +18,9 @@ class DynInst:
 
     __slots__ = (
         "seq", "pc", "inst", "trace_index",
-        # rename state
-        "rd_phys", "old_rd_phys", "rs1_phys", "rs2_phys", "rat_snapshot",
+        # rename state (old_rd_phys doubles as the RAT undo-log record:
+        # squashing this instruction re-maps its rd back to old_rd_phys)
+        "rd_phys", "old_rd_phys", "rs1_phys", "rs2_phys",
         # scheduler state
         "wait_count", "stalled", "in_ready", "rob_head_bypass",
         "consumed_tag", "produced_tag", "replay_count",
@@ -43,7 +44,6 @@ class DynInst:
         self.old_rd_phys: Optional[int] = None
         self.rs1_phys = 0
         self.rs2_phys = 0
-        self.rat_snapshot: Optional[List[int]] = None
         self.wait_count = 0
         self.stalled = False
         self.in_ready = False

@@ -122,6 +122,21 @@ class Processor:
         self._by_seq: Dict[int, DynInst] = {}
         self._completions: Dict[int, List[DynInst]] = {}
 
+        # Interned counter handles for per-instruction events (a plain
+        # attribute add instead of a string-dict lookup per event); rare
+        # events stay on Counters.incr.
+        counters = self.counters
+        self._c_dispatched = counters.cell("dispatched_instructions")
+        self._c_executed_loads = counters.cell("executed_loads")
+        self._c_executed_stores = counters.cell("executed_stores")
+        self._c_retired_loads = counters.cell("retired_loads")
+        self._c_retired_stores = counters.cell("retired_stores")
+        self._c_mem_replays = counters.cell("mem_replays")
+        self._c_idle_skipped = counters.cell("idle_cycles_skipped")
+        self._c_stall_rob = counters.cell("dispatch_stalls_rob")
+        self._c_stall_sched = counters.cell("dispatch_stalls_sched")
+        self._c_stall_phys = counters.cell("dispatch_stalls_phys")
+
         self.cycle = 0
         self.next_seq = 0
         self.retired = 0
@@ -182,22 +197,21 @@ class Processor:
 
     def _advance_clock(self) -> None:
         """Advance to the next cycle, skipping guaranteed-idle spans."""
-        self.cycle += 1
+        cycle = self.cycle + 1
+        self.cycle = cycle
         if self.scheduler.has_ready or self._fetch_progress:
             return
-        if self.rob and self.rob[0].completed:
+        rob = self.rob
+        if rob and rob[0].completed:
             return
-        targets = []
-        if self._completions:
-            targets.append(min(self._completions))
-        if self._fetch_pc is not None and \
-                self._fetch_stall_until > self.cycle:
-            targets.append(self._fetch_stall_until)
-        if not targets:
-            return
-        target = min(targets)
-        if target > self.cycle:
-            self.counters.incr("idle_cycles_skipped", target - self.cycle)
+        completions = self._completions
+        target = min(completions) if completions else -1
+        if self._fetch_pc is not None and self._fetch_stall_until > cycle:
+            stall = self._fetch_stall_until
+            if target < 0 or stall < target:
+                target = stall
+        if target > cycle:
+            self._c_idle_skipped.value += target - cycle
             self.cycle = target
 
     # ------------------------------------------------------------------ completion
@@ -207,9 +221,12 @@ class Processor:
             return
         inst.completed = True
         inst.complete_cycle = self.cycle
-        if inst.rd_phys is not None:
-            self.rename.write(inst.rd_phys, inst.dest_value or 0)
-            self.scheduler.on_phys_ready(inst.rd_phys)
+        phys = inst.rd_phys
+        if phys is not None:
+            rename = self.rename
+            rename.values[phys] = inst.dest_value or 0
+            rename.ready[phys] = True
+            self.scheduler.on_phys_ready(phys)
         if inst.produced_tag is not None:
             # The idealized scheduler only wakes predicted consumers of
             # accesses that complete successfully (Section 3).
@@ -217,8 +234,12 @@ class Processor:
             self.scheduler.on_tag_ready(inst.produced_tag)
 
     def _schedule_completion(self, inst: DynInst, latency: int) -> None:
-        due = self.cycle + max(1, latency)
-        self._completions.setdefault(due, []).append(inst)
+        due = self.cycle + (latency if latency > 1 else 1)
+        pending = self._completions.get(due)
+        if pending is None:
+            self._completions[due] = [inst]
+        else:
+            pending.append(inst)
 
     # ------------------------------------------------------------------ retire
 
@@ -246,7 +267,7 @@ class Processor:
         if inst.is_load:
             corrected, violations = self.subsystem.retire_load(
                 head.seq, head.addr or 0, head.size)
-            self.counters.incr("retired_loads")
+            self._c_retired_loads.value += 1
             if corrected is not None:
                 # Value-based retirement replay (Cain & Lipasti): the
                 # load consumed stale data; retire it with the corrected
@@ -264,7 +285,7 @@ class Processor:
                 bypassed=head.rob_head_bypass, pc=head.pc)
             self.memory.write_int(addr, size, data)
             self.hierarchy.data_latency(addr)  # commit-port cache traffic
-            self.counters.incr("retired_stores")
+            self._c_retired_stores.value += 1
             if violations:
                 # A bypassed store found younger loads that already read
                 # stale data: conservative recovery flush (see
@@ -278,8 +299,11 @@ class Processor:
         # Validation runs after retirement-replay correction so the
         # value compared against the golden trace is the retiring one.
         self._validate(head)
-        if head.old_rd_phys is not None:
-            self.rename.release(head.old_rd_phys)
+        old_phys = head.old_rd_phys
+        if old_phys is not None:
+            rename = self.rename
+            rename.ready[old_phys] = False
+            rename._free.append(old_phys)
         if head.produced_tag is not None:
             self.tag_file.release(head.produced_tag)
         self.rob.popleft()
@@ -318,47 +342,59 @@ class Processor:
     # ------------------------------------------------------------------ issue/execute
 
     def _issue_stage(self) -> None:
-        selected = self.scheduler.select(self.config.num_fus)
+        scheduler = self.scheduler
+        selected = scheduler.select(self.config.num_fus)
+        cycle = self.cycle
         for inst in selected:
             if inst.squashed:
                 continue
-            self.scheduler.mark_issued(inst)
-            inst.issue_cycle = self.cycle
+            scheduler.mark_issued(inst)
+            inst.issue_cycle = cycle
             self._execute(inst)
 
     def _execute(self, inst: DynInst) -> None:
         static = inst.inst
         op = static.op
-        rename = self.rename
-        a = rename.read(inst.rs1_phys)
-        b = rename.read(inst.rs2_phys)
+        values = self.rename.values
+        a = values[inst.rs1_phys]
+        b = values[inst.rs2_phys]
 
         if static.is_mem:
             self._execute_mem(inst, a, b)
-        elif op in ops.BRANCH_OPS:
-            inst.actual_taken = branch_taken(op, a, b)
-            inst.actual_target = static.imm if inst.actual_taken \
+            return
+
+        latency = 1
+        mispredicted = False
+        if static.is_branch:
+            inst.actual_taken = taken = branch_taken(op, a, b)
+            inst.actual_target = static.imm if taken \
                 else (inst.pc + INSTRUCTION_BYTES) & MASK64
-            self._schedule_completion(inst, 1)
-            if inst.actual_target != inst.predicted_target:
-                self._branch_mispredict(inst)
+            mispredicted = inst.actual_target != inst.predicted_target
         elif op == ops.JR:
             inst.actual_taken = True
             inst.actual_target = a
-            self._schedule_completion(inst, 1)
-            if inst.actual_target != inst.predicted_target:
-                self._branch_mispredict(inst)
+            mispredicted = inst.actual_target != inst.predicted_target
         elif op in (ops.J, ops.JAL):
             inst.actual_taken = True
             inst.actual_target = static.imm
             if op == ops.JAL:
                 inst.dest_value = (inst.pc + INSTRUCTION_BYTES) & MASK64
-            self._schedule_completion(inst, 1)
         elif op in (ops.NOP, ops.HALT):
-            self._schedule_completion(inst, 1)
+            pass
         else:
             inst.dest_value = execute_op(op, a, b, static.imm)
-            self._schedule_completion(inst, static.latency)
+            latency = static.latency
+
+        # Inline completion scheduling (the per-instruction common case).
+        due = self.cycle + (latency if latency > 1 else 1)
+        completions = self._completions
+        pending = completions.get(due)
+        if pending is None:
+            completions[due] = [inst]
+        else:
+            pending.append(inst)
+        if mispredicted:
+            self._branch_mispredict(inst)
 
     def _execute_mem(self, inst: DynInst, a: int, b: int) -> None:
         static = inst.inst
@@ -369,20 +405,20 @@ class Processor:
         inst.size = size
         watermark = self.rob[0].seq if self.rob else self.next_seq
         if static.is_load:
-            self.counters.incr("executed_loads")
+            self._c_executed_loads.value += 1
             outcome = self.subsystem.execute_load(
                 inst.seq, inst.pc, addr, size, watermark,
                 at_rob_head=inst.rob_head_bypass)
         else:
             data = b & ((1 << (8 * size)) - 1)
             inst.store_data = data
-            self.counters.incr("executed_stores")
+            self._c_executed_stores.value += 1
             outcome = self.subsystem.execute_store(
                 inst.seq, inst.pc, addr, size, data, watermark,
                 at_rob_head=inst.rob_head_bypass)
 
         if outcome.status == REPLAY:
-            self.counters.incr("mem_replays")
+            self._c_mem_replays.value += 1
             self.scheduler.replay(inst)
             return
 
@@ -455,26 +491,37 @@ class Processor:
         """Squash every instruction younger than the flush point.
 
         Returns the oldest squashed instruction (None when nothing was
-        squashed).  The RAT is restored from its pre-rename checkpoint.
+        squashed).  The RAT is recovered through the undo log: walking
+        the squashed instructions youngest-first and re-mapping each
+        destination back to ``old_rd_phys`` (the mapping that instruction
+        displaced at rename) reconstructs exactly the pre-rename RAT of
+        the oldest squashed instruction, without per-dispatch snapshots.
         """
         rob = self.rob
+        rename = self.rename
+        rat = rename.rat
+        scheduler = self.scheduler
+        tag_file = self.tag_file
+        by_seq = self._by_seq
         first_squashed: Optional[DynInst] = None
+        squashed_count = 0
         while rob and rob[-1].seq > flush_after_seq:
             dead = rob.pop()
             dead.squashed = True
-            self.scheduler.note_squashed(dead)
+            scheduler.note_squashed(dead)
             if dead.produced_tag is not None:
-                self.tag_file.mark_ready(dead.produced_tag)
-                self.scheduler.on_tag_ready(dead.produced_tag)
-                self.tag_file.release(dead.produced_tag)
+                tag_file.mark_ready(dead.produced_tag)
+                scheduler.on_tag_ready(dead.produced_tag)
+                tag_file.release(dead.produced_tag)
             if dead.rd_phys is not None:
-                self.rename.release(dead.rd_phys)
-            del self._by_seq[dead.seq]
+                rat[dead.inst.rd] = dead.old_rd_phys
+                rename.release(dead.rd_phys)
+            del by_seq[dead.seq]
             first_squashed = dead
-            self.counters.incr("squashed_instructions")
+            squashed_count += 1
         if first_squashed is not None:
-            self.rename.restore(first_squashed.rat_snapshot)
-            self.scheduler.squash_after(flush_after_seq)
+            self.counters.incr("squashed_instructions", squashed_count)
+            scheduler.squash_after(flush_after_seq)
         return first_squashed
 
     def _redirect_fetch(self, resume_pc: int, resume_trace_index: int,
@@ -492,30 +539,46 @@ class Processor:
             return
         branches = 0
         config = self.config
+        rob = self.rob
+        rob_size = config.rob_size
+        scheduler = self.scheduler
+        sched_capacity = scheduler.capacity
+        rename = self.rename
+        subsystem = self.subsystem
+        fetch = self.program.fetch
+        instructions = self.program.instructions
+        num_insts = len(instructions)
+        inst_latency = self.hierarchy.inst_latency
+        branch_limit = config.fetch_branches_per_cycle
         for _ in range(config.width):
-            if len(self.rob) >= config.rob_size:
-                self.counters.incr("dispatch_stalls_rob")
+            if len(rob) >= rob_size:
+                self._c_stall_rob.value += 1
                 return
-            if not self.scheduler.has_space:
-                self.counters.incr("dispatch_stalls_sched")
+            if scheduler._occupancy >= sched_capacity:
+                self._c_stall_sched.value += 1
                 return
-            if self.rename.free_count == 0:
-                self.counters.incr("dispatch_stalls_phys")
+            if not rename._free:
+                self._c_stall_phys.value += 1
                 return
             pc = self._fetch_pc
-            static = self.program.fetch(pc)
-            if static.is_load and not self.subsystem.can_dispatch_load():
+            # Inline of Program.fetch's aligned in-range fast path; the
+            # slow path (pad/HALT for wrong-path fetch) stays in fetch().
+            index = pc >> 2
+            if index < num_insts and not pc & 3:
+                static = instructions[index]
+            else:
+                static = fetch(pc)
+            if static.is_load and not subsystem.can_dispatch_load():
                 self.counters.incr("dispatch_stalls_lq")
                 return
-            if static.is_store and not self.subsystem.can_dispatch_store():
+            if static.is_store and not subsystem.can_dispatch_store():
                 self.counters.incr("dispatch_stalls_sq")
                 return
-            if static.is_control and \
-                    branches >= config.fetch_branches_per_cycle:
+            if static.is_control and branches >= branch_limit:
                 return
             # Instruction cache: a miss stalls fetch; the lookup filled
             # the line, so the re-fetch after the stall hits.
-            ilat = self.hierarchy.inst_latency(pc)
+            ilat = inst_latency(pc)
             if ilat > 1:
                 self._fetch_stall_until = self.cycle + ilat - 1
                 return
@@ -531,43 +594,54 @@ class Processor:
                 return
 
     def _dispatch(self, static, pc: int) -> None:
-        """Rename + dispatch one fetched instruction, updating fetch PC."""
-        on_right_path = self._fetch_trace_index >= 0
+        """Rename + dispatch one fetched instruction, updating fetch PC.
+
+        This is the hottest function in the simulator (once per dispatched
+        instruction, right *and* wrong path), so the next-fetch-PC logic is
+        folded in rather than split into a helper, and the non-control
+        common case exits early.
+        """
+        trace_index = self._fetch_trace_index
         record: Optional[RetireRecord] = None
-        if on_right_path:
-            if self._fetch_trace_index >= len(self.trace):
+        if trace_index >= 0:
+            trace = self.trace
+            if trace_index >= len(trace):
                 raise SimulationError(
                     f"right-path fetch ran past the golden trace "
-                    f"({len(self.trace)} records) at pc={pc:#x}; the "
+                    f"({len(trace)} records) at pc={pc:#x}; the "
                     f"trace does not belong to this program")
-            record = self.trace[self._fetch_trace_index]
+            record = trace[trace_index]
             if record.pc != pc:
                 raise SimulationError(
                     f"right-path fetch diverged: pc={pc:#x} but trace "
-                    f"expects {record.pc:#x} at index "
-                    f"{self._fetch_trace_index}")
+                    f"expects {record.pc:#x} at index {trace_index}")
 
         seq = self.next_seq
-        self.next_seq += 1
-        inst = DynInst(seq, pc, static,
-                       self._fetch_trace_index if on_right_path else -1)
-        inst.rat_snapshot = self.rename.snapshot()
+        self.next_seq = seq + 1
+        inst = DynInst(seq, pc, static, trace_index)
 
-        # Source renaming.
-        unready: List[int] = []
+        # Source renaming.  The RAT needs no checkpoint here: recovery
+        # walks the undo log (each instruction's old_rd_phys) instead.
+        rename = self.rename
+        rat = rename.rat
+        ready = rename.ready
+        unready1 = -1
+        unready2 = -1
         op = static.op
         if op not in _NO_RS1:
-            inst.rs1_phys = self.rename.lookup(static.rs1)
-            if not self.rename.is_ready(inst.rs1_phys):
-                unready.append(inst.rs1_phys)
+            phys = rat[static.rs1]
+            inst.rs1_phys = phys
+            if not ready[phys]:
+                unready1 = phys
         if op in _USES_RS2:
-            inst.rs2_phys = self.rename.lookup(static.rs2)
-            if not self.rename.is_ready(inst.rs2_phys):
-                unready.append(inst.rs2_phys)
+            phys = rat[static.rs2]
+            inst.rs2_phys = phys
+            if not ready[phys]:
+                unready2 = phys
         # Destination renaming.
         if op in _HAS_DEST and static.rd != 0:
-            inst.old_rd_phys = self.rename.lookup(static.rd)
-            inst.rd_phys = self.rename.allocate(static.rd)
+            inst.old_rd_phys = rat[static.rd]
+            inst.rd_phys = rename.allocate(static.rd)
 
         # Memory dependence prediction (Section 2.1).
         if static.is_mem:
@@ -582,39 +656,37 @@ class Processor:
 
         self.rob.append(inst)
         self._by_seq[seq] = inst
-        self.scheduler.dispatch(inst, unready)
-        self.counters.incr("dispatched_instructions")
+        self.scheduler.dispatch_fast(inst, unready1, unready2)
+        self._c_dispatched.value += 1
 
-        self._advance_fetch_pc(inst, static, record)
+        # Next fetch PC + right-path tracking (was _advance_fetch_pc).
+        if not static.is_control:
+            if op == ops.HALT:
+                inst.actual_target = pc  # matches the ISS convention
+                inst.predicted_target = pc
+                return
+            fall_through = (pc + INSTRUCTION_BYTES) & MASK64
+            inst.predicted_target = fall_through
+            self._fetch_pc = fall_through
+            if record is not None:
+                self._fetch_trace_index = trace_index + 1
+            return
 
-    def _advance_fetch_pc(self, inst: DynInst, static,
-                          record: Optional[RetireRecord]) -> None:
-        """Predict the next fetch PC and track right-path status."""
-        pc = inst.pc
-        op = static.op
-        fall_through = (pc + INSTRUCTION_BYTES) & MASK64
-
-        if op in ops.BRANCH_OPS:
+        if static.is_branch:
             if record is not None:
                 predicted = self.bpred.predict_with_oracle(pc, record.taken)
             else:
                 predicted = self.bpred.predict(pc)
                 self.bpred.predictions += 1
             inst.predicted_taken = predicted
-            inst.predicted_target = static.imm if predicted \
-                else fall_through
-            self._fetch_pc = inst.predicted_target
-            if record is not None and inst.predicted_target == \
-                    record.next_pc:
-                self._fetch_trace_index += 1
+            target = static.imm if predicted \
+                else (pc + INSTRUCTION_BYTES) & MASK64
+            inst.predicted_target = target
+            self._fetch_pc = target
+            if record is not None and target == record.next_pc:
+                self._fetch_trace_index = trace_index + 1
             else:
                 self._fetch_trace_index = -1
-        elif op in (ops.J, ops.JAL):
-            inst.predicted_taken = True
-            inst.predicted_target = static.imm
-            self._fetch_pc = static.imm
-            if record is not None:
-                self._fetch_trace_index += 1
         elif op == ops.JR:
             predicted_target = self.bpred.predict_indirect(pc)
             if record is not None and predicted_target != record.next_pc \
@@ -624,14 +696,12 @@ class Processor:
             inst.predicted_target = predicted_target
             self._fetch_pc = predicted_target
             if record is not None and predicted_target == record.next_pc:
-                self._fetch_trace_index += 1
+                self._fetch_trace_index = trace_index + 1
             else:
                 self._fetch_trace_index = -1
-        elif op == ops.HALT:
-            inst.actual_target = pc  # matches the ISS convention
-            inst.predicted_target = pc
-        else:
-            inst.predicted_target = fall_through
-            self._fetch_pc = fall_through
+        else:  # J / JAL
+            inst.predicted_taken = True
+            inst.predicted_target = static.imm
+            self._fetch_pc = static.imm
             if record is not None:
-                self._fetch_trace_index += 1
+                self._fetch_trace_index = trace_index + 1

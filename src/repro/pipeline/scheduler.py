@@ -55,12 +55,60 @@ class Scheduler:
         """
         self._occupancy += 1
         wait = 0
-        for phys in unready_phys:
-            self._phys_waiters.setdefault(phys, []).append(inst)
+        if unready_phys:
+            phys_waiters = self._phys_waiters
+            for phys in unready_phys:
+                waiters = phys_waiters.get(phys)
+                if waiters is None:
+                    phys_waiters[phys] = [inst]
+                else:
+                    waiters.append(inst)
+                wait += 1
+        tag = inst.consumed_tag
+        if tag is not None and not self.tag_file.is_ready(tag):
+            waiters = self._tag_waiters.get(tag)
+            if waiters is None:
+                self._tag_waiters[tag] = [inst]
+            else:
+                waiters.append(inst)
+            wait += 1
+        inst.wait_count = wait
+        if wait == 0:
+            self._push_ready(inst)
+
+    def dispatch_fast(self, inst: DynInst, unready1: int = -1,
+                      unready2: int = -1) -> None:
+        """Allocation-free dispatch for the two-source common case.
+
+        Same semantics as :meth:`dispatch` with the unready sources passed
+        as scalars (-1 = none) instead of a per-call list; the processor's
+        dispatch loop calls this once per instruction.
+        """
+        self._occupancy += 1
+        wait = 0
+        if unready1 >= 0:
+            phys_waiters = self._phys_waiters
+            waiters = phys_waiters.get(unready1)
+            if waiters is None:
+                phys_waiters[unready1] = [inst]
+            else:
+                waiters.append(inst)
+            wait = 1
+        if unready2 >= 0:
+            phys_waiters = self._phys_waiters
+            waiters = phys_waiters.get(unready2)
+            if waiters is None:
+                phys_waiters[unready2] = [inst]
+            else:
+                waiters.append(inst)
             wait += 1
         tag = inst.consumed_tag
         if tag is not None and not self.tag_file.is_ready(tag):
-            self._tag_waiters.setdefault(tag, []).append(inst)
+            waiters = self._tag_waiters.get(tag)
+            if waiters is None:
+                self._tag_waiters[tag] = [inst]
+            else:
+                waiters.append(inst)
             wait += 1
         inst.wait_count = wait
         if wait == 0:
@@ -84,7 +132,19 @@ class Scheduler:
                 self._push_ready(inst)
 
     def on_phys_ready(self, phys: int) -> None:
-        self._wake(self._phys_waiters.pop(phys, None))
+        # _wake inlined: this runs once per completing producer.
+        waiters = self._phys_waiters.pop(phys, None)
+        if not waiters:
+            return
+        ready = self._ready
+        for inst in waiters:
+            if inst.squashed or inst.issued:
+                continue
+            inst.wait_count -= 1
+            if inst.wait_count == 0 and not inst.stalled and \
+                    not inst.in_ready:
+                inst.in_ready = True
+                heapq.heappush(ready, (inst.seq, inst))
 
     def on_tag_ready(self, tag: int) -> None:
         self._wake(self._tag_waiters.pop(tag, None))

@@ -242,3 +242,86 @@ class TestCountedRecovery:
         mdt.on_load_retire(0x100, 8, seq=10)
         result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
         assert result.violations[0].flush_after_seq == 11
+
+    def test_recovery_after_partial_flush_cancels_tracked_load(self):
+        """A partial flush un-counts the canceled load, so §2.4.1
+        recovery targets the surviving one instead of falling back."""
+        mdt = make_mdt(counted=True)
+        mdt.access_load(0x100, 8, seq=10, pc=0x14, watermark=0)
+        mdt.access_load(0x100, 8, seq=12, pc=0x24, watermark=0)
+        # Flush everything younger than seq 11: load 12 never executed.
+        mdt.on_partial_flush(flush_after_seq=11)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        # Exactly one completed load remains -> flush from that load.
+        assert result.violations[0].flush_after_seq == 9
+
+    def test_partial_flush_without_point_stays_conservative(self):
+        mdt = make_mdt(counted=True)
+        mdt.access_load(0x100, 8, seq=10, pc=0x14, watermark=0)
+        mdt.access_load(0x100, 8, seq=12, pc=0x24, watermark=0)
+        mdt.on_partial_flush()
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        assert result.violations[0].flush_after_seq == 5
+
+
+class TestMultiGranuleAtomicity:
+    def test_spanning_conflict_commits_nothing(self):
+        """If any granule of a spanning access conflicts, no granule may
+        be updated: the access replays and must see a clean table."""
+        mdt = make_mdt(num_sets=2, assoc=1)
+        # Fill the set that granule 0x108 maps to (granule 0x21, set 1).
+        mdt.access_load(0x208, 8, seq=1, pc=0x10, watermark=0)
+        before = mdt.occupancy()
+        # Spans granules 0x100 (set 0, free) and 0x108 (set 1, full).
+        result = mdt.access_load(0x104, 8, seq=2, pc=0x14, watermark=0)
+        assert result.status == MDT_CONFLICT
+        # The free first granule must NOT have been allocated.
+        assert mdt.occupancy() == before
+        # An older store to the first granule sees no phantom load.
+        check = mdt.access_store(0x100, 8, seq=0, pc=0x18, watermark=0)
+        assert not check.violations
+
+    def test_spanning_same_set_counts_pending_allocations(self):
+        """Both granules of one access landing in the same set must find
+        room for *two* new entries, not one."""
+        mdt = make_mdt(num_sets=1, assoc=2)
+        mdt.access_load(0x300, 8, seq=1, pc=0x10, watermark=0)
+        before = mdt.occupancy()
+        # Needs two ways in set 0; only one is free.
+        result = mdt.access_load(0x104, 8, seq=2, pc=0x14, watermark=0)
+        assert result.status == MDT_CONFLICT
+        assert mdt.occupancy() == before
+
+    def test_conflicting_access_replays_cleanly(self):
+        """Replay after the blocker retires behaves as a first access."""
+        mdt = make_mdt(num_sets=2, assoc=1)
+        mdt.access_load(0x208, 8, seq=1, pc=0x10, watermark=0)
+        assert mdt.access_load(0x104, 8, seq=2, pc=0x14,
+                               watermark=0).status == MDT_CONFLICT
+        mdt.on_load_retire(0x208, 8, seq=1)
+        replay = mdt.access_load(0x104, 8, seq=2, pc=0x14, watermark=0)
+        assert replay.status == MDT_OK
+        assert not replay.violations
+        assert mdt.occupancy() == 2
+
+
+class TestResultIsolation:
+    def test_violations_are_immutable_tuples(self):
+        mdt = make_mdt()
+        clean = mdt.access_load(0x100, 8, seq=1, pc=0x14, watermark=0)
+        assert isinstance(clean.violations, tuple)
+        with pytest.raises(AttributeError):
+            clean.violations.append(None)
+
+    def test_clean_results_never_leak_violations(self):
+        """Two independent clean results share no mutable state, so a
+        violation reported to one caller can never appear in another's
+        (the old shared-list singleton bug)."""
+        mdt = make_mdt()
+        first = mdt.access_load(0x100, 8, seq=1, pc=0x14, watermark=0)
+        mdt.access_store(0x200, 8, seq=10, pc=0x10, watermark=0)
+        violating = mdt.access_load(0x200, 8, seq=5, pc=0x14, watermark=0)
+        second = mdt.access_load(0x300, 8, seq=20, pc=0x14, watermark=0)
+        assert not first.violations
+        assert not second.violations
+        assert len(violating.violations) == 1
