@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Metric-declaration lint: every counter the simulator increments must
+be declared in the metric registry (``repro.obs.metrics``).
+
+Scans ``src/`` for ``counters.incr("name")`` / ``.cell("name")`` /
+``.set("name")`` call sites (including f-string names, whose ``{...}``
+holes are matched as wildcards against the registry) and fails if any
+referenced counter has no declaration.  Run from the repository root:
+
+    python scripts/check_metrics.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import repro  # noqa: E402,F401  (populates the metric registry)
+from repro.obs.metrics import METRICS  # noqa: E402
+
+#: ``.incr("x")``, ``.cell("x")``, ``.set("x")`` with a literal or
+#: f-string name argument.
+CALL = re.compile(r"\.(?:incr|cell|set)\(\s*(f?)\"([^\"]+)\"")
+
+
+def referenced_names():
+    """Yield (path, lineno, is_fstring, name) for every call site."""
+    for path in sorted((ROOT / "src").rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for is_f, name in CALL.findall(line):
+                yield path.relative_to(ROOT), lineno, bool(is_f), name
+
+
+def matches_declared(name: str, is_fstring: bool) -> bool:
+    if not is_fstring:
+        return name in METRICS
+    # An f-string name like f"{level}_misses": treat each interpolation
+    # hole as a wildcard and require at least one declared match.
+    pattern = re.compile(
+        re.sub(r"\\\{[^}]*\\\}", r"[a-z0-9_]+", re.escape(name)) + r"\Z")
+    return any(pattern.match(declared) for declared in METRICS.names())
+
+
+def main() -> int:
+    failures = []
+    checked = 0
+    for path, lineno, is_fstring, name in referenced_names():
+        checked += 1
+        if not matches_declared(name, is_fstring):
+            failures.append(f"{path}:{lineno}: counter {name!r} is "
+                            f"incremented but not declared")
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)} undeclared counter reference(s) "
+              f"(out of {checked} call sites; {len(METRICS)} metrics "
+              f"declared)")
+        return 1
+    print(f"ok: {checked} counter call sites all declared "
+          f"({len(METRICS)} metrics in registry)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

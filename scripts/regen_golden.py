@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate the RunRecord golden file pinned by tests/test_obs.py.
+
+Run this (from the repository root) only after a deliberate schema
+change, together with a SCHEMA_VERSION bump:
+
+    python scripts/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from repro import Processor  # noqa: E402
+from repro.harness import baseline_sfc_mdt_config  # noqa: E402
+from repro.obs.runrecord import RunRecord  # noqa: E402
+from tests.conftest import assemble, counted_loop_program  # noqa: E402
+
+GOLDEN = ROOT / "tests" / "data" / "runrecord.golden.json"
+
+
+def main() -> int:
+    result = Processor(assemble(counted_loop_program),
+                       baseline_sfc_mdt_config()).run()
+    record = RunRecord.from_sim_result(result, benchmark="counted-loop")
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(record.to_json(indent=2) + "\n")
+    print(f"wrote {GOLDEN}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,10 @@ Public API tour:
   and the idealized LSQ baseline;
 * :mod:`repro.pipeline` -- the cycle-level out-of-order superscalar;
 * :mod:`repro.workloads` -- SPEC-2000-styled synthetic kernels;
-* :mod:`repro.harness` -- experiment presets and figure generators.
+* :mod:`repro.harness` -- experiment presets and figure generators;
+* :mod:`repro.obs` -- metric registry and versioned run records;
+* :mod:`repro.api` -- the stable programmatic surface
+  (``simulate``/``compare``/``run_figure`` returning RunRecords).
 
 Quick start::
 
@@ -39,6 +42,8 @@ from .core import (
 )
 from .isa import Assembler, Instruction, Interpreter, Program, run_program
 from .pipeline import Processor, ProcessorConfig, SimResult, SimulationError
+from . import api  # noqa: E402  (needs core/pipeline imported first)
+from .obs import METRICS, RunRecord
 
 __version__ = "1.0.0"
 
@@ -49,18 +54,21 @@ __all__ = [
     "LSQConfig",
     "LSQSubsystem",
     "MDTConfig",
+    "METRICS",
     "MemoryDisambiguationTable",
     "PredictorConfig",
     "Processor",
     "ProcessorConfig",
     "ProducerSetPredictor",
     "Program",
+    "RunRecord",
     "SFCConfig",
     "SfcMdtSubsystem",
     "SimResult",
     "SimulationError",
     "StoreFifo",
     "StoreForwardingCache",
+    "api",
     "run_program",
     "__version__",
 ]

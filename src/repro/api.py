@@ -1,0 +1,177 @@
+"""Stable, versioned public API: ``repro.api``.
+
+The supported programmatic surface of the reproduction.  Everything here
+returns structured, schema-versioned results
+(:class:`~repro.obs.runrecord.RunRecord`) instead of simulator-internal
+objects, so callers no longer import from ``repro.pipeline.processor``
+or ``repro.harness`` internals:
+
+* :func:`simulate` -- one (benchmark, configuration) cell -> RunRecord;
+* :func:`compare` -- one benchmark under several configurations;
+* :func:`run_figure` -- regenerate one of the paper's figures/tables;
+* :func:`trace` -- a sampled pipetrace run (ring buffer + epoch
+  snapshots) for time-series analysis;
+* :func:`list_benchmarks` / :func:`list_configs` / :func:`list_figures`
+  -- the name spaces the other calls accept.
+
+Example::
+
+    from repro import api
+
+    record = api.simulate("gzip", "baseline-sfc-mdt", scale=5000)
+    print(record.ipc, record.metric("sfc_forwards"))
+    print(record.to_json(indent=2))   # schema_version included
+
+The old entry points (``repro.cli.CONFIGS``/``FIGURES``, and
+``format_report`` over a raw ``SimResult``) keep working through thin
+shims that emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from .harness import configs as config_presets
+from .harness import figures
+from .harness.experiment import DEFAULT_SCALE, ExperimentRunner
+from .obs.runrecord import RunRecord
+from .pipeline.config import ProcessorConfig
+from .pipeline.pipetrace import PipeTracer, trace_run
+from .pipeline.processor import Processor
+from .workloads import ALL_BENCHMARKS, suites
+
+#: Named configuration presets (the CLI exposes exactly these).
+CONFIGS: Dict[str, Callable[[], ProcessorConfig]] = {
+    "baseline-lsq": config_presets.baseline_lsq_config,
+    "baseline-sfc-mdt": config_presets.baseline_sfc_mdt_config,
+    "aggressive-lsq": config_presets.aggressive_lsq_config,
+    "aggressive-sfc-mdt": config_presets.aggressive_sfc_mdt_config,
+    "aggressive-load-replay": config_presets.aggressive_load_replay_config,
+}
+
+#: Figure/table generators (the CLI exposes exactly these).
+FIGURES: Dict[str, Callable[..., "figures.FigureResult"]] = {
+    "fig5": figures.figure5,
+    "fig6": figures.figure6,
+    "enf-ablation": figures.enf_ablation,
+    "associativity": figures.associativity_sweep,
+    "corruption": figures.corruption_rates,
+    "granularity": figures.granularity_sweep,
+    "power": figures.power_comparison,
+    "window-scaling": figures.window_scaling,
+    "recovery": figures.recovery_policies,
+}
+
+ConfigLike = Union[str, ProcessorConfig]
+
+
+def resolve_config(config: ConfigLike) -> ProcessorConfig:
+    """A :class:`ProcessorConfig` from a preset name or a ready config."""
+    if isinstance(config, ProcessorConfig):
+        return config
+    try:
+        return CONFIGS[config]()
+    except KeyError:
+        raise KeyError(
+            f"unknown configuration {config!r}; available presets: "
+            f"{', '.join(sorted(CONFIGS))}") from None
+
+
+def list_benchmarks() -> List[str]:
+    """Names accepted by :func:`simulate`/:func:`compare`/:func:`trace`."""
+    return sorted(ALL_BENCHMARKS)
+
+
+def list_configs() -> List[str]:
+    """Named configuration presets."""
+    return sorted(CONFIGS)
+
+
+def list_figures() -> List[str]:
+    """Figure/table generators accepted by :func:`run_figure`."""
+    return sorted(FIGURES)
+
+
+def _runner(scale: int, runner: Optional[ExperimentRunner],
+            **runner_kwargs) -> ExperimentRunner:
+    if runner is not None:
+        return runner
+    return ExperimentRunner(scale=scale, **runner_kwargs)
+
+
+def simulate(benchmark: str, config: ConfigLike = "baseline-sfc-mdt",
+             scale: int = DEFAULT_SCALE,
+             runner: Optional[ExperimentRunner] = None,
+             **runner_kwargs) -> RunRecord:
+    """Simulate one benchmark under one configuration.
+
+    Returns the versioned :class:`RunRecord` of the cell (also appended
+    to the runner's manifest).  ``runner_kwargs`` (``jobs``,
+    ``cache_dir``, ``use_cache``) configure a fresh
+    :class:`ExperimentRunner` when none is supplied.
+    """
+    engine = _runner(scale, runner, **runner_kwargs)
+    engine.run(benchmark, resolve_config(config))
+    return engine.last_record()
+
+
+def compare(benchmark: str,
+            configs: Sequence[ConfigLike] = ("baseline-lsq",
+                                             "baseline-sfc-mdt"),
+            scale: int = DEFAULT_SCALE,
+            runner: Optional[ExperimentRunner] = None,
+            **runner_kwargs) -> List[RunRecord]:
+    """One benchmark under several configurations, as RunRecords
+    (grid-parallel and cache-aware through the experiment engine)."""
+    engine = _runner(scale, runner, **runner_kwargs)
+    resolved = [resolve_config(config) for config in configs]
+    grid = engine.run_suite([benchmark], resolved)
+    by_name = {record.config_name: record for record in engine.records()
+               if record.benchmark == benchmark}
+    return [by_name[config.name] for config in resolved if
+            (benchmark, config.name) in grid]
+
+
+def run_figure(name: str, scale: int = 8_000,
+               runner: Optional[ExperimentRunner] = None,
+               **runner_kwargs) -> "figures.FigureResult":
+    """Regenerate one of the paper's figures/tables."""
+    try:
+        generator = FIGURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; available: "
+            f"{', '.join(sorted(FIGURES))}") from None
+    return generator(scale=scale, runner=_runner(scale, runner,
+                                                 **runner_kwargs))
+
+
+def trace(benchmark: str, config: ConfigLike = "baseline-sfc-mdt",
+          scale: int = 2_000, ring_size: Optional[int] = None,
+          epoch_cycles: Optional[int] = None,
+          max_instructions: int = 100_000) -> PipeTracer:
+    """Run one benchmark under a sampled pipetrace.
+
+    Builds the workload, attaches a :class:`PipeTracer` (optionally with
+    a bounded ring buffer and per-``epoch_cycles`` snapshots), runs to
+    completion, and returns the tracer.  ``tracer.epochs_jsonl()`` /
+    ``tracer.write_epochs(path)`` export the epoch time series.
+    """
+    program = suites.build(benchmark, scale)
+    processor = Processor(program, resolve_config(config))
+    return trace_run(processor, max_instructions=max_instructions,
+                     ring_size=ring_size, epoch_cycles=epoch_cycles)
+
+
+__all__ = [
+    "CONFIGS",
+    "FIGURES",
+    "compare",
+    "list_benchmarks",
+    "list_configs",
+    "list_figures",
+    "resolve_config",
+    "run_figure",
+    "simulate",
+    "trace",
+]

@@ -16,48 +16,52 @@ Subcommands
     Measure simulator throughput (instructions/sec); ``--profile`` adds
     the top-N hot functions from cProfile.
 
+Every subcommand takes ``--format text|json`` and ``--out FILE``.  JSON
+output is the versioned results schema (schema_version |SCHEMA|): ``run``
+emits one :class:`~repro.obs.runrecord.RunRecord`; ``compare``,
+``figure``, and ``bench`` emit an envelope with the same
+``schema_version`` field and a ``kind`` discriminator, carrying the
+underlying RunRecords where applicable.  ``--out`` writes the document
+to a file instead of stdout.
+
 ``run``, ``compare``, and ``figure`` share the experiment-engine flags:
 ``--jobs N`` simulates uncached grid cells on N worker processes
 (default: all cores), ``--cache-dir`` relocates the persistent result
 cache (default ``.repro_cache/``), and ``--no-cache`` disables it.
+
+``run`` can additionally export a sampled pipetrace:
+``--epoch-cycles N --trace-out FILE`` writes per-epoch snapshots
+(occupancy, stall breakdown, violation/replay rates) as JSON Lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List, Optional
+import warnings
+from pathlib import Path
+from typing import List, Optional
 
-from . import perf
+from . import api, perf
 from .core import registry
-from .harness import configs as config_presets
-from .harness import figures
 from .harness.experiment import ExperimentRunner
-from .pipeline.config import ProcessorConfig
+from .obs.runrecord import SCHEMA_VERSION
 from .stats.report import format_report
 from .workloads import ALL_BENCHMARKS
 
-#: Named configuration presets exposed on the command line.
-CONFIGS: Dict[str, Callable[[], ProcessorConfig]] = {
-    "baseline-lsq": config_presets.baseline_lsq_config,
-    "baseline-sfc-mdt": config_presets.baseline_sfc_mdt_config,
-    "aggressive-lsq": config_presets.aggressive_lsq_config,
-    "aggressive-sfc-mdt": config_presets.aggressive_sfc_mdt_config,
-    "aggressive-load-replay": config_presets.aggressive_load_replay_config,
-}
+_DEPRECATED_ATTRS = ("CONFIGS", "FIGURES")
 
-#: Figure/table generators exposed on the command line.
-FIGURES: Dict[str, Callable[..., "figures.FigureResult"]] = {
-    "fig5": figures.figure5,
-    "fig6": figures.figure6,
-    "enf-ablation": figures.enf_ablation,
-    "associativity": figures.associativity_sweep,
-    "corruption": figures.corruption_rates,
-    "granularity": figures.granularity_sweep,
-    "power": figures.power_comparison,
-    "window-scaling": figures.window_scaling,
-    "recovery": figures.recovery_policies,
-}
+
+def __getattr__(name: str):
+    """Deprecation shims: the CONFIGS/FIGURES registries moved to
+    :mod:`repro.api`; importing them from here still works but warns."""
+    if name in _DEPRECATED_ATTRS:
+        warnings.warn(
+            f"repro.cli.{name} is deprecated; use repro.api.{name}",
+            DeprecationWarning, stacklevel=2)
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -72,10 +76,38 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable the persistent result cache")
 
 
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    """Structured-output knobs shared by every subcommand."""
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="format",
+                        help="output format: human-readable text "
+                             "(default) or versioned RunRecord JSON")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the output to FILE instead of stdout")
+
+
 def _build_runner(args) -> ExperimentRunner:
     return ExperimentRunner(scale=args.scale, jobs=args.jobs,
                             cache_dir=args.cache_dir,
                             use_cache=not args.no_cache)
+
+
+def _emit(text: str, args) -> None:
+    """Print or write one finished document (text or JSON)."""
+    if args.out:
+        path = Path(args.out)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+    else:
+        print(text)
+
+
+def _envelope(kind: str, **fields) -> str:
+    payload = {"schema_version": SCHEMA_VERSION, "kind": kind}
+    payload.update(fields)
+    return json.dumps(payload, sort_keys=True, indent=2)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,34 +118,44 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(MICRO 2005)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks, subsystems, configs, "
-                                "and figures")
+    list_cmd = sub.add_parser(
+        "list", help="list benchmarks, subsystems, configs, and figures")
+    _add_output_flags(list_cmd)
 
     run = sub.add_parser("run", help="simulate one benchmark")
     run.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
     run.add_argument("--config", default="baseline-sfc-mdt",
-                     choices=sorted(CONFIGS))
+                     choices=sorted(api.CONFIGS))
     run.add_argument("--scale", type=int, default=20_000,
                      help="dynamic instruction budget (default 20000)")
+    run.add_argument("--epoch-cycles", type=int, default=None,
+                     metavar="N",
+                     help="sample a pipetrace epoch snapshot every N "
+                          "cycles (requires --trace-out)")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write epoch snapshots as JSON Lines to FILE")
     _add_engine_flags(run)
+    _add_output_flags(run)
 
     compare = sub.add_parser(
         "compare", help="one benchmark under several configurations")
     compare.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
     compare.add_argument("--configs", nargs="+",
                          default=["baseline-lsq", "baseline-sfc-mdt"],
-                         choices=sorted(CONFIGS))
+                         choices=sorted(api.CONFIGS))
     compare.add_argument("--scale", type=int, default=20_000)
     _add_engine_flags(compare)
+    _add_output_flags(compare)
 
     figure = sub.add_parser("figure",
                             help="regenerate a paper figure/table")
-    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("name", choices=sorted(api.FIGURES))
     figure.add_argument("--scale", type=int, default=8_000,
                         help="dynamic instruction budget per run "
                              "(default 8000; the archived results use "
                              "20000)")
     _add_engine_flags(figure)
+    _add_output_flags(figure)
 
     bench = sub.add_parser(
         "bench", help="measure simulator throughput (insts/sec)")
@@ -122,7 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(ALL_BENCHMARKS))
     bench.add_argument("--configs", nargs="+",
                        default=["baseline-lsq", "baseline-sfc-mdt"],
-                       choices=sorted(CONFIGS))
+                       choices=sorted(api.CONFIGS))
     bench.add_argument("--scale", type=int, default=4_000,
                        help="dynamic instruction budget per cell "
                             "(default 4000)")
@@ -132,70 +174,118 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--top", type=int, default=15,
                        help="hot functions to show with --profile "
                             "(default 15)")
+    _add_output_flags(bench)
     return parser
 
 
-def _cmd_list() -> int:
-    print("benchmarks:")
-    for name in ALL_BENCHMARKS:
-        print(f"  {name}")
-    print("\nsubsystems:")
-    for name in registry.available():
-        print(f"  {name}")
-    print("\nconfigurations:")
-    for name in sorted(CONFIGS):
-        print(f"  {name}")
-    print("\nfigures:")
-    for name in sorted(FIGURES):
-        print(f"  {name}")
+def _cmd_list(args) -> int:
+    if args.format == "json":
+        _emit(_envelope("list",
+                        benchmarks=list(ALL_BENCHMARKS),
+                        subsystems=list(registry.available()),
+                        configurations=sorted(api.CONFIGS),
+                        figures=sorted(api.FIGURES)), args)
+        return 0
+    lines = ["benchmarks:"]
+    lines += [f"  {name}" for name in ALL_BENCHMARKS]
+    lines.append("\nsubsystems:")
+    lines += [f"  {name}" for name in registry.available()]
+    lines.append("\nconfigurations:")
+    lines += [f"  {name}" for name in sorted(api.CONFIGS)]
+    lines.append("\nfigures:")
+    lines += [f"  {name}" for name in sorted(api.FIGURES)]
+    _emit("\n".join(lines), args)
     return 0
 
 
 def _cmd_run(args) -> int:
-    runner = _build_runner(args)
-    result = runner.run(args.benchmark, CONFIGS[args.config]())
-    print(format_report(result))
+    record = api.simulate(args.benchmark, args.config,
+                          runner=_build_runner(args))
+    if args.epoch_cycles or args.trace_out:
+        if not (args.epoch_cycles and args.trace_out):
+            print("--epoch-cycles and --trace-out must be given together",
+                  file=sys.stderr)
+            return 2
+        tracer = api.trace(args.benchmark, args.config, scale=args.scale,
+                           ring_size=1024,
+                           epoch_cycles=args.epoch_cycles)
+        tracer.write_epochs(args.trace_out)
+        print(f"wrote {len(tracer.epochs)} epoch snapshots to "
+              f"{args.trace_out}", file=sys.stderr)
+    if args.format == "json":
+        _emit(record.to_json(indent=2), args)
+    else:
+        _emit(format_report(record), args)
     return 0
 
 
 def _cmd_compare(args) -> int:
-    runner = _build_runner(args)
-    configs = [CONFIGS[name]() for name in args.configs]
-    grid = runner.run_suite([args.benchmark], configs)
+    records = api.compare(args.benchmark, args.configs,
+                          runner=_build_runner(args))
+    if args.format == "json":
+        _emit(_envelope("compare", benchmark=args.benchmark,
+                        scale=args.scale,
+                        runs=[record.to_dict() for record in records]),
+              args)
+        return 0
     width = max(len(name) for name in args.configs)
-    print(f"{args.benchmark} (scale {args.scale})")
-    print(f"{'configuration':<{width}}  {'IPC':>7}  {'cycles':>9}")
-    for name, config in zip(args.configs, configs):
-        result = grid[(args.benchmark, config.name)]
-        print(f"{name:<{width}}  {result.ipc:>7.3f}  "
-              f"{result.cycles:>9d}")
+    lines = [f"{args.benchmark} (scale {args.scale})",
+             f"{'configuration':<{width}}  {'IPC':>7}  {'cycles':>9}"]
+    for name, record in zip(args.configs, records):
+        lines.append(f"{name:<{width}}  {record.ipc:>7.3f}  "
+                     f"{record.cycles:>9d}")
+    _emit("\n".join(lines), args)
     return 0
 
 
 def _cmd_figure(args) -> int:
-    figure = FIGURES[args.name](scale=args.scale,
-                                runner=_build_runner(args))
-    print(figure.format())
+    runner = _build_runner(args)
+    figure = api.run_figure(args.name, scale=args.scale, runner=runner)
+    if args.format == "json":
+        _emit(_envelope("figure", name=args.name, title=figure.title,
+                        scale=args.scale, series=figure.series_names,
+                        rows=[{"benchmark": benchmark, "values": values}
+                              for benchmark, values in figure.rows],
+                        averages=[{"label": label, "values": values}
+                                  for label, values in figure.averages()],
+                        runs=list(runner.manifest)), args)
+        return 0
+    _emit(figure.format(), args)
     return 0
 
 
 def _cmd_bench(args) -> int:
-    configs = [CONFIGS[name]() for name in args.configs]
+    configs = [api.CONFIGS[name]() for name in args.configs]
     report = perf.measure_throughput(args.benchmarks, configs,
                                      scale=args.scale)
-    print(report.format())
+    if args.format == "json":
+        _emit(_envelope(
+            "bench", scale=args.scale,
+            samples=[{"benchmark": s.benchmark,
+                      "config_name": s.config_name,
+                      "instructions": s.instructions,
+                      "cycles": s.cycles,
+                      "wall_seconds": s.wall_seconds,
+                      "insts_per_sec": s.insts_per_sec}
+                     for s in report.samples],
+            total_instructions=report.total_instructions,
+            total_wall_seconds=report.total_wall_seconds,
+            insts_per_sec=report.insts_per_sec,
+            manifest_digest=report.manifest_digest), args)
+        return 0
+    text = report.format()
     if args.profile:
         profile = perf.profile_suite(args.benchmarks, configs,
                                      scale=args.scale)
-        print()
-        print(profile.format(top_n=args.top))
+        text += "\n\n" + profile.format(top_n=args.top)
+    _emit(text, args)
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "compare":

@@ -29,11 +29,17 @@ from typing import List, Optional, Tuple
 
 from ..memory.cache import CacheHierarchy
 from ..memory.main_memory import MainMemory
+from ..obs.metrics import declare_metric
 from ..stats.counters import Counters
 from .lsq import LoadStoreQueue, LSQConfig
 from .registry import register_subsystem
 from .subsystem import DONE, MemorySubsystem, MemOutcome
 from .violations import TRUE_DEP, Violation
+
+# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
+declare_metric("retire_replay_violations", subsystem="load_replay",
+               description="loads whose retirement re-execution disagreed "
+                           "with the executed value")
 
 
 @register_subsystem("load_replay")

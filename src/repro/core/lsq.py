@@ -18,8 +18,28 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..memory.main_memory import MainMemory
+from ..obs.metrics import declare_metric
 from ..stats.counters import Counters
 from .violations import TRUE_DEP, Violation
+
+# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
+for _name, _unit, _desc in (
+    ("lsq_load_searches", "accesses",
+     "loads that CAM-searched the store queue"),
+    ("lsq_store_searches", "accesses",
+     "stores that CAM-searched the load queue"),
+    ("lsq_sq_entries_searched", "entries",
+     "store-queue entries examined by load searches"),
+    ("lsq_lq_entries_searched", "entries",
+     "load-queue entries examined by store searches"),
+    ("lsq_full_forwards", "events",
+     "loads fully forwarded from the store queue"),
+    ("lsq_true_violations", "events",
+     "premature loads caught by the store's load-queue search"),
+    ("lsq_retire_replays", "events",
+     "loads re-executed at retirement (value-based replay)"),
+):
+    declare_metric(_name, subsystem="lsq", description=_desc, unit=_unit)
 
 
 class LSQConfig:

@@ -43,8 +43,26 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..obs.metrics import declare_metric
 from ..stats.counters import Counters
 from .violations import ANTI_DEP, OUTPUT_DEP, TRUE_DEP, Violation
+
+# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
+for _name, _unit, _desc in (
+    ("mdt_load_accesses", "accesses", "loads that probed the MDT"),
+    ("mdt_store_accesses", "accesses", "stores that probed the MDT"),
+    ("mdt_set_conflicts", "events",
+     "accesses that found no MDT way available"),
+    ("mdt_anti_violations", "events",
+     "anti (WAR) dependence violations the MDT detected"),
+    ("mdt_true_violations", "events",
+     "true (RAW) dependence violations the MDT detected"),
+    ("mdt_output_violations", "events",
+     "output (WAW) dependence violations the MDT detected"),
+    ("mdt_true_violations_at_retire", "events",
+     "true violations found by the retirement check-only scan"),
+):
+    declare_metric(_name, subsystem="mdt", description=_desc, unit=_unit)
 
 MDT_OK = "ok"
 MDT_CONFLICT = "conflict"

@@ -34,8 +34,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import declare_metric
 from ..stats.counters import Counters
 from .violations import TRUE_DEP
+
+# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
+for _name, _desc in (
+    ("pred_consumes", "accesses that waited on a predicted producer set"),
+    ("pred_produces", "accesses that allocated a producer tag"),
+    ("pred_trainings", "violation-driven dependence-predictor updates"),
+):
+    declare_metric(_name, subsystem="predictor", description=_desc)
 
 ENF = "ENF"
 NOT_ENF = "NOT_ENF"

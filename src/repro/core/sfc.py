@@ -42,7 +42,27 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..obs.metrics import declare_metric
 from ..stats.counters import Counters
+
+# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
+for _name, _unit, _desc in (
+    ("sfc_load_lookups", "accesses", "loads that probed the SFC"),
+    ("sfc_store_writes", "accesses", "stores that wrote the SFC"),
+    ("sfc_forwards", "events", "loads fully satisfied from the SFC"),
+    ("sfc_set_conflicts", "events",
+     "stores that found no SFC way available"),
+    ("sfc_corrupt_hits", "events",
+     "loads that hit an SFC word marked corrupt"),
+    ("sfc_partial_matches", "events",
+     "loads that only partially matched SFC bytes"),
+    ("sfc_partial_flushes", "events",
+     "partial-flush cleanups applied to the SFC"),
+    ("sfc_endpoint_overflows", "events",
+     "per-word endpoint-list overflows during partial flushes"),
+    ("sfc_full_flushes", "events", "full SFC invalidations"),
+):
+    declare_metric(_name, subsystem="sfc", description=_desc, unit=_unit)
 
 LINE_BYTES = 8
 LINE_SHIFT = 3

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..memory.cache import CacheHierarchy
 from ..memory.main_memory import MainMemory
+from ..obs.metrics import declare_metric
 from ..stats.counters import Counters
 from .lsq import LoadStoreQueue, LSQConfig
 from .registry import register_subsystem
@@ -31,6 +32,23 @@ from .violations import OUTPUT_DEP, Violation
 
 DONE = "done"
 REPLAY = "replay"
+
+# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
+for _name, _desc in (
+    ("rob_head_bypasses", "accesses that bypassed the MDT/SFC from the "
+                          "ROB head (Section 2.2)"),
+    ("load_replays_mdt_conflict", "load replays due to MDT set conflicts"),
+    ("load_replays_sfc_corrupt", "load replays due to SFC corruption"),
+    ("load_replays_sfc_partial", "load replays due to SFC partial "
+                                 "matches"),
+    ("store_replays_sfc_conflict", "store replays due to SFC set "
+                                   "conflicts"),
+    ("store_replays_mdt_conflict", "store replays due to MDT set "
+                                   "conflicts"),
+    ("output_violations_corrupt_marked",
+     "output violations recovered by corrupt-marking (Section 2.4.2)"),
+):
+    declare_metric(_name, subsystem="sfc_mdt", description=_desc)
 
 #: Section 2.4.2 output-violation recovery policies.
 OUTPUT_RECOVERY_FLUSH = "flush"

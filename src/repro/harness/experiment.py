@@ -21,10 +21,13 @@ One :class:`ExperimentRunner` owns three layers of reuse:
 The simulator is fully deterministic, so all three paths (serial,
 parallel, cached) produce identical :class:`SimResult` grids.
 
-Every cell additionally appends one entry to :attr:`ExperimentRunner.
-manifest` -- config dict, cycles, IPC, counter snapshot, wall-time, and
-cache hit/miss -- which the figure layer and the benches consume instead
-of ad-hoc prints (see :func:`repro.harness.figures.manifest_table`).
+Every cell additionally appends one versioned
+:class:`~repro.obs.runrecord.RunRecord` dict to :attr:`ExperimentRunner.
+manifest` -- schema version, config dict, cycles, IPC, metric snapshot,
+wall-time, and engine/cache provenance -- which the figure layer, the
+benches, ``repro.api``, and the CLI's ``--format json`` all consume
+instead of ad-hoc prints (see :func:`repro.harness.figures.
+manifest_table` and :meth:`ExperimentRunner.records`).
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..isa.interp import RetireRecord, run_program
 from ..isa.program import Program
+from ..obs.runrecord import RunRecord
 from ..pipeline.config import ProcessorConfig
 from ..pipeline.processor import Processor, SimResult
 from ..stats.counters import Counters
@@ -237,12 +241,24 @@ class ExperimentRunner:
     # ------------------------------------------------------------ manifest
 
     def write_manifest(self, path: Union[str, Path]) -> Path:
-        """Archive the run manifest as JSON; returns the path written."""
+        """Archive the run manifest (a list of versioned
+        :class:`~repro.obs.runrecord.RunRecord` dicts) as JSON; returns
+        the path written."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.manifest, indent=2,
                                    sort_keys=True) + "\n")
         return path
+
+    def records(self) -> List[RunRecord]:
+        """Every completed cell as a validated :class:`RunRecord`."""
+        return [RunRecord.from_dict(entry) for entry in self.manifest]
+
+    def last_record(self) -> RunRecord:
+        """The most recently completed cell as a :class:`RunRecord`."""
+        if not self.manifest:
+            raise IndexError("no cells have completed yet")
+        return RunRecord.from_dict(self.manifest[-1])
 
     @property
     def cache_hits(self) -> int:
@@ -271,19 +287,21 @@ class ExperimentRunner:
                 payload: dict, key: str, hit: bool) -> None:
         cycles = payload["cycles"]
         instructions = payload["instructions"]
-        entry = {
-            "benchmark": benchmark,
-            "config_name": config.name,
-            "config": config.to_dict(),
-            "scale": self.scale,
-            "key": key,
-            "cycles": cycles,
-            "instructions": instructions,
-            "ipc": instructions / cycles if cycles else 0.0,
-            "counters": dict(payload["counters"]),
-            "wall_time": payload["wall_time"],
-            "cache_hit": hit,
-        }
+        record = RunRecord(
+            benchmark=benchmark,
+            config_name=config.name,
+            config=config.to_dict(),
+            scale=self.scale,
+            key=key,
+            cycles=cycles,
+            instructions=instructions,
+            ipc=instructions / cycles if cycles else 0.0,
+            counters=dict(payload["counters"]),
+            wall_time=payload["wall_time"],
+            cache_hit=hit,
+            engine={"jobs": self.jobs,
+                    "cache_enabled": self.cache is not None})
+        entry = record.to_dict()
         self.manifest.append(entry)
         if self.verbose:
             origin = "cache" if hit else f"{entry['wall_time']:.2f}s"

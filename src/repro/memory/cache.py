@@ -11,6 +11,19 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..obs.metrics import GAUGE, RATE, declare_metric
+
+# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
+for _level in ("l1i", "l1d", "l2"):
+    declare_metric(f"{_level}_accesses", kind=GAUGE, subsystem="cache",
+                   description=f"{_level} cache accesses",
+                   unit="accesses")
+    declare_metric(f"{_level}_misses", kind=GAUGE, subsystem="cache",
+                   description=f"{_level} cache misses", unit="accesses")
+    declare_metric(f"{_level}_miss_rate", kind=RATE, subsystem="cache",
+                   description=f"{_level} miss rate (misses/accesses)",
+                   unit="ratio")
+
 
 class CacheConfig:
     """Geometry and latencies of one cache level."""

@@ -1,0 +1,49 @@
+"""Structured observability layer: metric registry + versioned run records.
+
+* :mod:`repro.obs.metrics` -- declared metrics (kind, owning subsystem,
+  description, unit) behind every counter name the simulator increments;
+* :mod:`repro.obs.runrecord` -- the versioned :class:`RunRecord` results
+  schema emitted by the experiment engine, ``repro.api``, and the CLI's
+  ``--format json``.
+
+Trace sampling (bounded ring buffer + per-epoch snapshots) lives with
+the tracer it extends, :mod:`repro.pipeline.pipetrace`.
+"""
+
+from .metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    METRICS,
+    Metric,
+    MetricRegistry,
+    RATE,
+    UnknownMetricError,
+    declare_metric,
+)
+from .runrecord import (
+    KIND_RUN,
+    RunRecord,
+    SCHEMA_VERSION,
+    SchemaError,
+    records_from_manifest,
+    validate_record,
+)
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "KIND_RUN",
+    "METRICS",
+    "Metric",
+    "MetricRegistry",
+    "RATE",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "UnknownMetricError",
+    "declare_metric",
+    "records_from_manifest",
+    "validate_record",
+]

@@ -1,0 +1,133 @@
+"""Metric registry: declared, typed metrics behind the counter names.
+
+Every counter the simulator increments is *declared* here-adjacent (each
+component declares its own metrics at import time via
+:func:`declare_metric`), turning the previously stringly-typed counter
+namespace into a checkable schema:
+
+* a :class:`Metric` records the counter's kind (counter / gauge / rate /
+  histogram), the subsystem that owns it, a human description, and a
+  unit;
+* reports and exporters look names up through :meth:`MetricRegistry.get`,
+  so a typo'd counter string raises :class:`UnknownMetricError` instead
+  of silently rendering a blank;
+* ``scripts/check_metrics.py`` lints the source tree: every counter name
+  incremented anywhere in ``src/`` must resolve to a declaration.
+
+The registry is *metadata only*.  The runtime value store remains
+:class:`repro.stats.counters.Counters` -- declaring a metric allocates
+nothing, costs nothing per event, and cannot perturb simulation results
+(the ``manifest_digest`` bit-exactness gate holds across this layer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+#: Metric kinds.
+COUNTER = "counter"      #: monotonically increasing event count
+GAUGE = "gauge"          #: point-in-time value set once per run (e.g. cycles)
+RATE = "rate"            #: derived ratio of two other metrics
+HISTOGRAM = "histogram"  #: distribution sample (trace/epoch exports)
+
+_KINDS = frozenset({COUNTER, GAUGE, RATE, HISTOGRAM})
+
+
+class UnknownMetricError(KeyError):
+    """A counter name was used that no component ever declared."""
+
+
+class Metric:
+    """Declaration of one named metric."""
+
+    __slots__ = ("name", "kind", "subsystem", "description", "unit")
+
+    def __init__(self, name: str, kind: str, subsystem: str,
+                 description: str, unit: str):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.subsystem = subsystem
+        self.description = description
+        self.unit = unit
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "subsystem": self.subsystem,
+                "description": self.description, "unit": self.unit}
+
+    def __repr__(self) -> str:
+        return (f"Metric({self.name}: {self.kind}/{self.subsystem}, "
+                f"unit={self.unit!r})")
+
+
+class MetricRegistry:
+    """All declared metrics, keyed by counter name.
+
+    Redeclaring a name with identical parameters is a no-op (safe under
+    re-imports); redeclaring with *different* parameters raises, so two
+    components can never silently claim one counter name for different
+    meanings.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def declare(self, name: str, kind: str = COUNTER, subsystem: str = "",
+                description: str = "", unit: str = "events") -> Metric:
+        metric = Metric(name, kind, subsystem, description, unit)
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (existing.kind, existing.subsystem, existing.unit) != \
+                    (metric.kind, metric.subsystem, metric.unit):
+                raise ValueError(
+                    f"metric {name!r} already declared by "
+                    f"{existing.subsystem!r} as {existing.kind}"
+                    f"/{existing.unit!r}")
+            return existing
+        self._metrics[name] = metric
+        return metric
+
+    def get(self, name: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise UnknownMetricError(
+                f"counter {name!r} is not declared in the metric "
+                f"registry (typo? see repro.obs.metrics)")
+        return metric
+
+    def lookup(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def by_subsystem(self, subsystem: str) -> List[Metric]:
+        return [m for _, m in sorted(self._metrics.items())
+                if m.subsystem == subsystem]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dump of every declaration (tooling)."""
+        return {name: metric.to_dict()
+                for name, metric in sorted(self._metrics.items())}
+
+
+#: The process-wide registry every component declares into.
+METRICS = MetricRegistry()
+
+
+def declare_metric(name: str, kind: str = COUNTER, subsystem: str = "",
+                   description: str = "", unit: str = "events") -> Metric:
+    """Declare one metric in the global registry (import-time use)."""
+    return METRICS.declare(name, kind=kind, subsystem=subsystem,
+                           description=description, unit=unit)

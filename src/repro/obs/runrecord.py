@@ -1,0 +1,193 @@
+"""Versioned, structured run records -- the stable results schema.
+
+A :class:`RunRecord` is the machine-readable outcome of one simulated
+(benchmark, configuration) cell: schema version, full canonical config,
+workload identity (benchmark + scale), every metric value, wall-time,
+and engine/cache provenance.  The experiment engine emits one per cell
+into its manifest, ``repro.api`` returns them, and the CLI's
+``--format json`` prints them -- all the same document.
+
+Versioning policy
+-----------------
+
+``SCHEMA_VERSION`` is bumped whenever a required field is added,
+removed, renamed, or changes type.  :meth:`RunRecord.from_dict` refuses
+payloads from any other version, so tooling fails loudly instead of
+misreading old dumps; the golden-file test in ``tests/test_obs.py``
+pins the current shape and forces the bump to be deliberate.
+
+The metric values are serialized under the key ``"counters"`` -- the
+name the result cache and the ``manifest_digest`` bit-exactness gate
+have always hashed -- so introducing the schema changed no digests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+#: Bump on any incompatible change to the record shape (see module doc).
+SCHEMA_VERSION = 1
+
+#: ``kind`` discriminator for a single-cell record.  Multi-run CLI
+#: envelopes (compare/figure/bench/list) carry their own kinds but share
+#: the ``schema_version`` field.
+KIND_RUN = "run"
+
+
+class SchemaError(ValueError):
+    """A payload does not conform to the RunRecord schema."""
+
+
+#: Required fields and their accepted types (the schema, in code).
+_FIELDS = {
+    "schema_version": int,
+    "kind": str,
+    "benchmark": str,
+    "config_name": str,
+    "config": dict,
+    "scale": int,
+    "key": str,
+    "cycles": int,
+    "instructions": int,
+    "ipc": (int, float),
+    "counters": dict,
+    "wall_time": (int, float),
+    "cache_hit": bool,
+    "engine": dict,
+}
+
+
+def validate_record(payload: dict) -> None:
+    """Raise :class:`SchemaError` unless ``payload`` is a valid record."""
+    if not isinstance(payload, dict):
+        raise SchemaError(f"record payload must be a dict, "
+                          f"got {type(payload).__name__}")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema_version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})")
+    for field, types in _FIELDS.items():
+        if field not in payload:
+            raise SchemaError(f"record is missing required field "
+                              f"{field!r}")
+        if not isinstance(payload[field], types):
+            raise SchemaError(
+                f"record field {field!r} has type "
+                f"{type(payload[field]).__name__}, expected "
+                f"{types if isinstance(types, type) else types[0].__name__}")
+    for name, value in payload["counters"].items():
+        if not isinstance(name, str) or \
+                not isinstance(value, (int, float)):
+            raise SchemaError(f"counter {name!r} must map a string to "
+                              f"a number")
+
+
+class RunRecord:
+    """One simulated cell's structured, versioned outcome."""
+
+    __slots__ = ("benchmark", "config_name", "config", "scale", "key",
+                 "cycles", "instructions", "ipc", "counters", "wall_time",
+                 "cache_hit", "engine")
+
+    def __init__(self, benchmark: str, config_name: str, config: dict,
+                 scale: int, key: str, cycles: int, instructions: int,
+                 ipc: float, counters: Dict[str, float],
+                 wall_time: float = 0.0, cache_hit: bool = False,
+                 engine: Optional[dict] = None):
+        self.benchmark = benchmark
+        self.config_name = config_name
+        self.config = config
+        self.scale = scale
+        self.key = key
+        self.cycles = cycles
+        self.instructions = instructions
+        self.ipc = ipc
+        self.counters = counters
+        self.wall_time = wall_time
+        self.cache_hit = cache_hit
+        self.engine = engine if engine is not None else {}
+
+    # -- alternate constructors ------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        """Rebuild (and validate) a record from its serialized form."""
+        validate_record(payload)
+        return cls(benchmark=payload["benchmark"],
+                   config_name=payload["config_name"],
+                   config=payload["config"], scale=payload["scale"],
+                   key=payload["key"], cycles=payload["cycles"],
+                   instructions=payload["instructions"],
+                   ipc=payload["ipc"],
+                   counters=dict(payload["counters"]),
+                   wall_time=payload["wall_time"],
+                   cache_hit=payload["cache_hit"],
+                   engine=dict(payload["engine"]))
+
+    @classmethod
+    def from_sim_result(cls, result, benchmark: Optional[str] = None,
+                        scale: int = 0, wall_time: float = 0.0
+                        ) -> "RunRecord":
+        """Wrap a bare :class:`~repro.pipeline.processor.SimResult`
+        (direct ``Processor`` use, outside the experiment engine)."""
+        return cls(benchmark=benchmark or result.program_name,
+                   config_name=result.config.name,
+                   config=result.config.to_dict(), scale=scale, key="",
+                   cycles=result.cycles, instructions=result.instructions,
+                   ipc=result.ipc, counters=result.counters.as_dict(),
+                   wall_time=wall_time, cache_hit=False, engine={})
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """The metric values (alias of :attr:`counters`; the serialized
+        key stays ``"counters"`` for digest stability)."""
+        return self.counters
+
+    def metric(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def rate(self, numerator: str, denominator: str) -> float:
+        denom = self.counters.get(denominator, 0.0)
+        if not denom:
+            return 0.0
+        return self.counters.get(numerator, 0.0) / denom
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": KIND_RUN,
+            "benchmark": self.benchmark,
+            "config_name": self.config_name,
+            "config": self.config,
+            "scale": self.scale,
+            "key": self.key,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "counters": self.counters,
+            "wall_time": self.wall_time,
+            "cache_hit": self.cache_hit,
+            "engine": self.engine,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON (sorted keys; compact unless ``indent``)."""
+        if indent is None:
+            return json.dumps(self.to_dict(), sort_keys=True,
+                              separators=(",", ":"))
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def __repr__(self) -> str:
+        return (f"RunRecord({self.benchmark} on {self.config_name}: "
+                f"IPC={self.ipc:.3f}, schema v{SCHEMA_VERSION})")
+
+
+def records_from_manifest(manifest: List[dict]) -> List["RunRecord"]:
+    """Validate and wrap every entry of an engine manifest."""
+    return [RunRecord.from_dict(entry) for entry in manifest]

@@ -34,11 +34,61 @@ from ..isa.interp import RetireRecord, branch_taken, execute_op, run_program
 from ..isa.program import INSTRUCTION_BYTES, Program
 from ..memory.cache import paper_hierarchy
 from ..memory.main_memory import MainMemory
+from ..obs.metrics import COUNTER, GAUGE, declare_metric
 from ..stats.counters import Counters
 from .config import ProcessorConfig
 from .dyninst import DynInst
 from .rename import RenameTable
 from .scheduler import Scheduler
+
+# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
+for _name, _kind, _unit, _desc in (
+    ("dispatched_instructions", COUNTER, "insts",
+     "instructions renamed and dispatched (right and wrong path)"),
+    ("executed_loads", COUNTER, "insts", "loads issued to the memory unit"),
+    ("executed_stores", COUNTER, "insts",
+     "stores issued to the memory unit"),
+    ("retired_loads", COUNTER, "insts", "loads retired from the ROB head"),
+    ("retired_stores", COUNTER, "insts",
+     "stores retired from the ROB head"),
+    ("mem_replays", COUNTER, "events",
+     "memory accesses bounced back to the scheduler for replay"),
+    ("idle_cycles_skipped", COUNTER, "cycles",
+     "guaranteed-idle cycles fast-forwarded by the clock"),
+    ("dispatch_stalls_rob", COUNTER, "slots",
+     "dispatch slots lost to a full ROB"),
+    ("dispatch_stalls_sched", COUNTER, "slots",
+     "dispatch slots lost to a full scheduler window"),
+    ("dispatch_stalls_phys", COUNTER, "slots",
+     "dispatch slots lost to physical-register exhaustion"),
+    ("dispatch_stalls_lq", COUNTER, "slots",
+     "dispatch slots lost to a full load queue"),
+    ("dispatch_stalls_sq", COUNTER, "slots",
+     "dispatch slots lost to a full store queue/FIFO"),
+    ("rob_head_bypass_grants", COUNTER, "events",
+     "ROB-lockup avoidance grants (Section 2.2)"),
+    ("branch_mispredict_flushes", COUNTER, "events",
+     "partial flushes caused by branch mispredictions"),
+    ("violation_flushes_true", COUNTER, "events",
+     "recovery flushes for true (RAW) ordering violations"),
+    ("violation_flushes_anti", COUNTER, "events",
+     "recovery flushes for anti (WAR) ordering violations"),
+    ("violation_flushes_output", COUNTER, "events",
+     "recovery flushes for output (WAW) ordering violations"),
+    ("partial_flushes", COUNTER, "events",
+     "partial pipeline flushes (all causes)"),
+    ("squashed_instructions", COUNTER, "insts",
+     "in-flight instructions squashed by recovery flushes"),
+    ("cycles", GAUGE, "cycles", "total simulated cycles"),
+    ("retired_instructions", GAUGE, "insts",
+     "architecturally retired instructions"),
+    ("branch_predictions", GAUGE, "events",
+     "conditional-branch predictions made"),
+    ("branch_mispredictions", GAUGE, "events",
+     "conditional-branch mispredictions"),
+):
+    declare_metric(_name, kind=_kind, subsystem="pipeline",
+                   description=_desc, unit=_unit)
 
 _USES_RS2 = frozenset(
     {ops.ADD, ops.SUB, ops.AND, ops.OR, ops.XOR, ops.SLT, ops.SLTU,

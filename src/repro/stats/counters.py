@@ -2,9 +2,10 @@
 
 Two access styles:
 
-* ``counters.incr("name")`` -- by-name increment, for rare events
-  (violations, conflicts, stalls).  One dict lookup per event.
-* ``cell = counters.cell("name")`` then ``cell.value += 1`` -- an
+* ``counters.incr("mdt_true_violations")`` -- by-name increment, for
+  rare events (violations, conflicts, stalls).  One dict lookup per
+  event.
+* ``cell = counters.cell("sfc_forwards")`` then ``cell.value += 1`` -- an
   *interned counter handle* for per-instruction / per-access hot paths.
   The dict lookup happens once, at component construction; every event
   afterwards is a plain attribute add.
@@ -40,7 +41,8 @@ class CounterCell:
 class Counters:
     """A named-counter bag with safe rate computation.
 
-    Components increment counters by name (``counters.incr("sfc_conflicts")``)
+    Components increment counters by name
+    (``counters.incr("sfc_set_conflicts")``)
     and the harness reads them back for reports.  Missing counters read as
     zero, so report code never needs existence checks.
     """

@@ -1,14 +1,44 @@
-"""Human-readable reports for simulation results."""
+"""Human-readable reports rendered from structured run records.
+
+``format_report`` renders a :class:`~repro.obs.runrecord.RunRecord` as a
+sectioned text report (used by the CLI's default ``--format text`` and
+the examples).  Every counter name the report touches is resolved
+through the metric registry (:data:`repro.obs.metrics.METRICS`):
+
+* a *missing* metric (never incremented in this run) renders as ``0``
+  followed by the metric's declared unit, instead of a silent blank;
+* an *undeclared* metric name -- a typo'd counter string -- raises
+  :class:`~repro.obs.metrics.UnknownMetricError` immediately, so report
+  drift is caught by the test suite rather than shipped as empty rows.
+
+Passing a legacy :class:`~repro.pipeline.processor.SimResult` still
+works through a thin deprecation shim (it is wrapped with
+:meth:`RunRecord.from_sim_result` after a :class:`DeprecationWarning`).
+"""
 
 from __future__ import annotations
 
-from typing import List
+import warnings
+from typing import List, Union
+
+from ..obs.metrics import METRICS
+from ..obs.runrecord import RunRecord
 
 
-def format_report(result) -> str:
-    """Render a :class:`~repro.pipeline.processor.SimResult` as a
-    sectioned text report (used by the CLI and the examples)."""
-    c = result.counters
+def _coerce(result: Union[RunRecord, object]) -> RunRecord:
+    if isinstance(result, RunRecord):
+        return result
+    warnings.warn(
+        "format_report(SimResult) is deprecated; pass a RunRecord "
+        "(e.g. from repro.api.simulate) instead",
+        DeprecationWarning, stacklevel=3)
+    return RunRecord.from_sim_result(result)
+
+
+def format_report(result: Union[RunRecord, object]) -> str:
+    """Render a run record as a sectioned text report."""
+    record = _coerce(result)
+    metrics = record.counters
     lines: List[str] = []
 
     def section(title: str) -> None:
@@ -21,57 +51,69 @@ def format_report(result) -> str:
             value = fmt.format(value)
         lines.append(f"  {label:<30} {value}")
 
-    lines.append(f"{result.program_name} on {result.config.name}")
+    def get(name: str) -> float:
+        """Declared-metric lookup: typos raise, absent values read 0."""
+        METRICS.get(name)
+        return metrics.get(name, 0.0)
+
+    def metric_row(label: str, name: str, fmt: str = "{:.0f}") -> None:
+        metric = METRICS.get(name)
+        if name in metrics:
+            row(label, metrics[name], fmt)
+        else:
+            unit = f" {metric.unit}" if metric.unit else ""
+            row(label, f"0{unit}")
+
+    lines.append(f"{record.benchmark} on {record.config_name}")
     lines.append("=" * len(lines[0]))
 
     section("performance")
-    row("IPC", result.ipc, "{:.3f}")
-    row("cycles", result.cycles)
-    row("instructions retired", result.instructions)
-    row("idle cycles skipped", c.get("idle_cycles_skipped"))
+    row("IPC", record.ipc, "{:.3f}")
+    row("cycles", float(record.cycles))
+    row("instructions retired", float(record.instructions))
+    metric_row("idle cycles skipped", "idle_cycles_skipped")
 
     section("front end")
-    row("branch predictions", c.get("branch_predictions"))
-    row("branch mispredictions", c.get("branch_mispredictions"))
-    row("mispredict flushes", c.get("branch_mispredict_flushes"))
-    row("squashed instructions", c.get("squashed_instructions"))
-    row("dispatch stalls (ROB full)", c.get("dispatch_stalls_rob"))
-    row("dispatch stalls (window)", c.get("dispatch_stalls_sched"))
+    metric_row("branch predictions", "branch_predictions")
+    metric_row("branch mispredictions", "branch_mispredictions")
+    metric_row("mispredict flushes", "branch_mispredict_flushes")
+    metric_row("squashed instructions", "squashed_instructions")
+    metric_row("dispatch stalls (ROB full)", "dispatch_stalls_rob")
+    metric_row("dispatch stalls (window)", "dispatch_stalls_sched")
     row("dispatch stalls (LQ/SQ)",
-        c.get("dispatch_stalls_lq") + c.get("dispatch_stalls_sq"))
+        get("dispatch_stalls_lq") + get("dispatch_stalls_sq"))
 
     section("memory subsystem")
-    row("retired loads", c.get("retired_loads"))
-    row("retired stores", c.get("retired_stores"))
-    if c.get("sfc_load_lookups"):
-        row("SFC forwards", c.get("sfc_forwards"))
-        row("SFC partial-match replays", c.get("load_replays_sfc_partial"))
-        row("SFC corruption replays", c.get("load_replays_sfc_corrupt"))
-        row("SFC set-conflict replays",
-            c.get("store_replays_sfc_conflict"))
-        row("MDT set-conflict replays", c.get("load_replays_mdt_conflict")
-            + c.get("store_replays_mdt_conflict"))
-        row("ROB-head bypasses", c.get("rob_head_bypasses"))
-    if c.get("lsq_load_searches"):
-        row("LSQ full forwards", c.get("lsq_full_forwards"))
-        row("SQ entries CAM-searched", c.get("lsq_sq_entries_searched"))
-        row("LQ entries CAM-searched", c.get("lsq_lq_entries_searched"))
-    if c.get("lsq_retire_replays"):
-        row("retirement re-executions", c.get("lsq_retire_replays"))
-        row("late violations", c.get("retire_replay_violations"))
+    metric_row("retired loads", "retired_loads")
+    metric_row("retired stores", "retired_stores")
+    if get("sfc_load_lookups"):
+        metric_row("SFC forwards", "sfc_forwards")
+        metric_row("SFC partial-match replays", "load_replays_sfc_partial")
+        metric_row("SFC corruption replays", "load_replays_sfc_corrupt")
+        metric_row("SFC set-conflict replays", "store_replays_sfc_conflict")
+        row("MDT set-conflict replays", get("load_replays_mdt_conflict")
+            + get("store_replays_mdt_conflict"))
+        metric_row("ROB-head bypasses", "rob_head_bypasses")
+    if get("lsq_load_searches"):
+        metric_row("LSQ full forwards", "lsq_full_forwards")
+        metric_row("SQ entries CAM-searched", "lsq_sq_entries_searched")
+        metric_row("LQ entries CAM-searched", "lsq_lq_entries_searched")
+    if get("lsq_retire_replays"):
+        metric_row("retirement re-executions", "lsq_retire_replays")
+        metric_row("late violations", "retire_replay_violations")
 
     section("ordering violations")
-    row("true-dependence flushes", c.get("violation_flushes_true")
-        + c.get("lsq_true_violations"))
-    row("anti-dependence flushes", c.get("violation_flushes_anti"))
-    row("output-dependence flushes", c.get("violation_flushes_output"))
-    row("predictor trainings", c.get("pred_trainings"))
-    row("predicted deps enforced", c.get("pred_consumes"))
+    row("true-dependence flushes", get("violation_flushes_true")
+        + get("lsq_true_violations"))
+    metric_row("anti-dependence flushes", "violation_flushes_anti")
+    metric_row("output-dependence flushes", "violation_flushes_output")
+    metric_row("predictor trainings", "pred_trainings")
+    metric_row("predicted deps enforced", "pred_consumes")
 
     section("caches")
     for level in ("l1i", "l1d", "l2"):
-        accesses = c.get(f"{level}_accesses")
-        misses = c.get(f"{level}_misses")
+        accesses = get(f"{level}_accesses")
+        misses = get(f"{level}_misses")
         rate = 100.0 * misses / accesses if accesses else 0.0
         row(f"{level} accesses / misses",
             f"{accesses:.0f} / {misses:.0f}  ({rate:.1f}%)")

@@ -1,0 +1,116 @@
+"""Tests for the stable public API facade and the deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro import Processor, api
+from repro.harness import baseline_sfc_mdt_config
+from repro.obs.runrecord import RunRecord
+from repro.stats.report import format_report
+from repro.workloads import ALL_BENCHMARKS
+from tests.conftest import assemble, counted_loop_program
+
+
+def quiet_runner_kwargs():
+    return dict(jobs=1, use_cache=False)
+
+
+class TestSimulate:
+    def test_returns_runrecord(self):
+        record = api.simulate("gap", "baseline-sfc-mdt", scale=1200,
+                              **quiet_runner_kwargs())
+        assert isinstance(record, RunRecord)
+        assert record.benchmark == "gap"
+        # Preset names carry a parameter suffix (e.g. "-enf").
+        assert record.config_name.startswith("baseline-sfc-mdt")
+        assert record.scale == 1200
+        assert record.cycles > 0 and record.counters
+
+    def test_accepts_config_object(self):
+        config = baseline_sfc_mdt_config()
+        record = api.simulate("gap", config, scale=1200,
+                              **quiet_runner_kwargs())
+        assert record.config_name == config.name
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            api.simulate("gap", "no-such-preset", scale=1200,
+                         **quiet_runner_kwargs())
+
+
+class TestCompare:
+    def test_records_in_request_order(self):
+        records = api.compare(
+            "gap", ["baseline-sfc-mdt", "baseline-lsq"], scale=1200,
+            **quiet_runner_kwargs())
+        names = [r.config_name for r in records]
+        assert names[0].startswith("baseline-sfc-mdt")
+        assert names[1].startswith("baseline-lsq")
+        assert all(r.benchmark == "gap" for r in records)
+
+
+class TestRunFigure:
+    def test_figure_smoke(self):
+        figure = api.run_figure("window-scaling", scale=1200,
+                                **quiet_runner_kwargs())
+        assert figure.rows and figure.series_names
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            api.run_figure("fig99", scale=1200, **quiet_runner_kwargs())
+
+
+class TestTrace:
+    def test_trace_returns_epochs(self):
+        tracer = api.trace("gap", scale=1200, ring_size=64,
+                           epoch_cycles=200)
+        assert tracer.epochs
+        assert len(tracer.traces) <= 64
+
+
+class TestListings:
+    def test_list_benchmarks(self):
+        assert api.list_benchmarks() == sorted(ALL_BENCHMARKS)
+
+    def test_list_configs(self):
+        assert "baseline-sfc-mdt" in api.list_configs()
+        assert api.list_configs() == sorted(api.CONFIGS)
+
+    def test_list_figures(self):
+        assert api.list_figures() == sorted(api.FIGURES)
+
+
+class TestDeprecationShims:
+    """Old entry points keep working, but warn."""
+
+    def test_cli_configs_attribute_warns(self):
+        from repro import cli
+        with pytest.warns(DeprecationWarning, match="repro.api.CONFIGS"):
+            configs = cli.CONFIGS
+        assert configs is api.CONFIGS
+
+    def test_cli_figures_attribute_warns(self):
+        from repro import cli
+        with pytest.warns(DeprecationWarning, match="repro.api.FIGURES"):
+            figures = cli.FIGURES
+        assert figures is api.FIGURES
+
+    def test_cli_unknown_attribute_still_raises(self):
+        from repro import cli
+        with pytest.raises(AttributeError):
+            cli.NO_SUCH_NAME
+
+    def test_format_report_simresult_warns_and_renders(self):
+        result = Processor(assemble(counted_loop_program),
+                           baseline_sfc_mdt_config()).run()
+        with pytest.warns(DeprecationWarning, match="RunRecord"):
+            report = format_report(result)
+        assert "IPC" in report
+
+    def test_format_report_runrecord_does_not_warn(self):
+        record = api.simulate("gap", scale=1200, **quiet_runner_kwargs())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = format_report(record)
+        assert "gap on baseline-sfc-mdt" in report

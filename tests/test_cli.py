@@ -1,20 +1,28 @@
 """Tests for the command-line interface and the text report."""
 
+import json
+
 import pytest
 
 from repro import Processor
-from repro.cli import CONFIGS, FIGURES, main
+from repro.api import CONFIGS, FIGURES
+from repro.cli import main
 from repro.harness import baseline_lsq_config, baseline_sfc_mdt_config
+from repro.obs.runrecord import SCHEMA_VERSION, RunRecord
 from repro.stats.report import format_report
 from repro.workloads import ALL_BENCHMARKS
 from tests.conftest import assemble, counted_loop_program
 
 
+def record_of(build_fn, config):
+    result = Processor(assemble(build_fn), config).run()
+    return RunRecord.from_sim_result(result, benchmark="inline")
+
+
 class TestReport:
     def test_report_has_all_sections(self):
-        result = Processor(assemble(counted_loop_program),
-                           baseline_sfc_mdt_config()).run()
-        report = format_report(result)
+        record = record_of(counted_loop_program, baseline_sfc_mdt_config())
+        report = format_report(record)
         for section in ("performance", "front end", "memory subsystem",
                         "ordering violations", "caches"):
             assert section in report
@@ -22,9 +30,8 @@ class TestReport:
         assert "SFC forwards" in report
 
     def test_lsq_report_shows_cam_work(self):
-        result = Processor(assemble(counted_loop_program),
-                           baseline_lsq_config()).run()
-        report = format_report(result)
+        record = record_of(counted_loop_program, baseline_lsq_config())
+        report = format_report(record)
         assert "CAM-searched" in report
         assert "SFC forwards" not in report
 
@@ -74,3 +81,73 @@ class TestCli:
         assert set(FIGURES) == {
             "fig5", "fig6", "enf-ablation", "associativity", "corruption",
             "granularity", "power", "window-scaling", "recovery"}
+
+
+class TestJsonFormat:
+    """``--format json`` emits parseable, schema-versioned documents."""
+
+    def test_run_json_is_a_runrecord(self, capsys):
+        assert main(["run", "gap", "--scale", "1500", "--no-cache",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["kind"] == "run"
+        assert payload["benchmark"] == "gap"
+        assert payload["counters"]["retired_loads"] > 0
+        # The document round-trips through the validating constructor.
+        record = RunRecord.from_dict(payload)
+        assert record.ipc == payload["ipc"]
+
+    def test_compare_json_envelope(self, capsys):
+        assert main(["compare", "gap", "--scale", "1500", "--no-cache",
+                     "--configs", "baseline-lsq", "baseline-sfc-mdt",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "compare"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        names = [run["config_name"] for run in payload["runs"]]
+        assert names[0].startswith("baseline-lsq")
+        assert names[1].startswith("baseline-sfc-mdt")
+        for run in payload["runs"]:
+            RunRecord.from_dict(run)
+
+    def test_figure_json_envelope(self, capsys):
+        assert main(["figure", "window-scaling", "--scale", "1500",
+                     "--no-cache", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "figure"
+        assert payload["name"] == "window-scaling"
+        assert payload["rows"] and payload["series"]
+        assert all("schema_version" in run for run in payload["runs"])
+
+    def test_list_json_envelope(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "list"
+        assert set(payload["configurations"]) == set(CONFIGS)
+        assert set(payload["figures"]) == set(FIGURES)
+        assert list(ALL_BENCHMARKS) == payload["benchmarks"]
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "record.json"
+        assert main(["run", "gap", "--scale", "1500", "--no-cache",
+                     "--format", "json", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert str(out) in stdout  # stdout notes the path, not the doc
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "run"
+
+    def test_trace_out_writes_epoch_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "epochs.jsonl"
+        assert main(["run", "gap", "--scale", "1500", "--no-cache",
+                     "--epoch-cycles", "200",
+                     "--trace-out", str(trace)]) == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        snapshot = json.loads(lines[0])
+        assert snapshot["cycle"] >= 200
+        assert "rob_occupancy" in snapshot
+
+    def test_trace_out_requires_epoch_cycles(self):
+        assert main(["run", "gap", "--scale", "1500", "--no-cache",
+                     "--trace-out", "x.jsonl"]) == 2

@@ -1,0 +1,174 @@
+"""Tests for the observability layer: metric registry + run records."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Processor
+from repro.harness import baseline_lsq_config, baseline_sfc_mdt_config
+from repro.harness.experiment import ExperimentRunner
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    METRICS,
+    MetricRegistry,
+    UnknownMetricError,
+)
+from repro.obs.runrecord import (
+    SCHEMA_VERSION,
+    RunRecord,
+    SchemaError,
+    records_from_manifest,
+    validate_record,
+)
+from repro.perf import manifest_digest
+from tests.conftest import assemble, counted_loop_program
+
+GOLDEN = Path(__file__).parent / "data" / "runrecord.golden.json"
+
+
+def golden_record() -> RunRecord:
+    """A fully deterministic record (fixed workload, no wall-clock)."""
+    result = Processor(assemble(counted_loop_program),
+                       baseline_sfc_mdt_config()).run()
+    return RunRecord.from_sim_result(result, benchmark="counted-loop")
+
+
+class TestRegistry:
+    def test_declare_and_get(self):
+        reg = MetricRegistry()
+        metric = reg.declare("widget_count", COUNTER, "widgets",
+                             "number of widgets", unit="widgets")
+        assert reg.get("widget_count") is metric
+        assert metric.kind == COUNTER
+        assert "widget_count" in reg
+        assert len(reg) == 1
+
+    def test_redeclare_identical_is_idempotent(self):
+        reg = MetricRegistry()
+        first = reg.declare("x", COUNTER, "s", "d")
+        second = reg.declare("x", COUNTER, "s", "d")
+        assert first is second
+        assert len(reg) == 1
+
+    def test_redeclare_conflicting_raises(self):
+        reg = MetricRegistry()
+        reg.declare("x", COUNTER, "s", "d")
+        with pytest.raises(ValueError):
+            reg.declare("x", GAUGE, "s", "d")
+
+    def test_unknown_metric_raises(self):
+        reg = MetricRegistry()
+        with pytest.raises(UnknownMetricError):
+            reg.get("nonexistent")
+        # It is a KeyError subclass, so dict-style handling works too.
+        assert issubclass(UnknownMetricError, KeyError)
+
+    def test_by_subsystem(self):
+        assert {m.name for m in METRICS.by_subsystem("sfc")} >= {
+            "sfc_forwards", "sfc_load_lookups"}
+
+    def test_global_registry_covers_core_subsystems(self):
+        subsystems = {metric.subsystem for metric in METRICS}
+        assert subsystems >= {"pipeline", "sfc", "mdt", "sfc_mdt", "lsq",
+                              "predictor", "cache"}
+
+
+class TestDeclaredCoverage:
+    """Every counter a real simulation emits is a declared metric."""
+
+    @pytest.mark.parametrize("config_fn", [baseline_sfc_mdt_config,
+                                           baseline_lsq_config])
+    def test_all_emitted_counters_declared(self, config_fn):
+        result = Processor(assemble(counted_loop_program),
+                           config_fn()).run()
+        undeclared = [name for name in result.counters.as_dict()
+                      if name not in METRICS]
+        assert not undeclared, f"undeclared counters: {undeclared}"
+
+
+class TestRunRecord:
+    def test_roundtrip(self):
+        record = golden_record()
+        payload = record.to_dict()
+        validate_record(payload)
+        again = RunRecord.from_dict(payload)
+        assert again.to_dict() == payload
+        assert again.cycles == record.cycles
+        assert again.metrics == record.counters
+
+    def test_json_roundtrip(self):
+        record = golden_record()
+        payload = json.loads(record.to_json())
+        assert RunRecord.from_dict(payload).to_json() == record.to_json()
+
+    def test_missing_field_rejected(self):
+        payload = golden_record().to_dict()
+        del payload["cycles"]
+        with pytest.raises(SchemaError):
+            validate_record(payload)
+
+    def test_wrong_type_rejected(self):
+        payload = golden_record().to_dict()
+        payload["counters"] = [1, 2, 3]
+        with pytest.raises(SchemaError):
+            validate_record(payload)
+
+    def test_foreign_schema_version_rejected(self):
+        payload = golden_record().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError):
+            RunRecord.from_dict(payload)
+
+    def test_metric_accessors(self):
+        record = golden_record()
+        assert record.metric("retired_loads") > 0
+        assert record.metric("no_such_metric", default=-1.0) == -1.0
+        assert 0.0 <= record.rate("sfc_forwards", "retired_loads") <= 1.0
+        assert record.rate("sfc_forwards", "absent_denominator") == 0.0
+
+    def test_golden_file_matches(self):
+        """The serialized schema is pinned byte-for-byte.
+
+        If this fails because you changed the record shape: bump
+        SCHEMA_VERSION deliberately and regenerate the golden file with
+        ``python scripts/regen_golden.py``.
+        """
+        assert GOLDEN.exists(), "golden file missing; run scripts/regen_golden.py"
+        expected = GOLDEN.read_text()
+        assert golden_record().to_json(indent=2) + "\n" == expected
+
+    def test_golden_schema_version_matches_code(self):
+        """A SCHEMA_VERSION bump forces regenerating the golden file."""
+        payload = json.loads(GOLDEN.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+
+class TestManifestRecords:
+    def make_runner(self):
+        return ExperimentRunner(scale=1200, jobs=1, use_cache=False)
+
+    def test_manifest_entries_are_valid_records(self):
+        runner = self.make_runner()
+        runner.run("gap", baseline_sfc_mdt_config())
+        runner.run("gap", baseline_lsq_config())
+        records = records_from_manifest(runner.manifest)
+        names = [r.config_name for r in records]
+        assert names[0].startswith("baseline-sfc-mdt")
+        assert names[1].startswith("baseline-lsq")
+        assert runner.last_record().config_name == names[1]
+
+    def test_digest_ignores_additive_fields(self):
+        """schema_version/kind/engine must not perturb the bit-exactness
+        gate: the digest reads only the legacy manifest fields."""
+        runner = self.make_runner()
+        runner.run("gap", baseline_sfc_mdt_config())
+        full = manifest_digest(runner.manifest)
+        stripped = []
+        for entry in runner.manifest:
+            legacy = dict(entry)
+            for added in ("schema_version", "kind", "engine"):
+                legacy.pop(added)
+            stripped.append(legacy)
+        assert manifest_digest(stripped) == full

@@ -1,5 +1,9 @@
 """Tests for the pipeline event tracer."""
 
+import json
+
+import pytest
+
 from repro import Processor
 from repro.harness import baseline_lsq_config, baseline_sfc_mdt_config
 from repro.pipeline.pipetrace import PipeTracer, trace_run
@@ -98,3 +102,76 @@ class TestSpeculationEvents:
         text = tracer.format(first=0, count=3)
         # header + separator + 3 rows
         assert len(text.splitlines()) == 5
+
+
+class TestRingBuffer:
+    def test_ring_keeps_youngest(self):
+        full = traced(counted_loop_program)
+        proc = Processor(assemble(counted_loop_program),
+                         baseline_lsq_config())
+        ringed = trace_run(proc, ring_size=16)
+        assert len(ringed.traces) == 16
+        # The survivors are exactly the 16 youngest sequence numbers.
+        assert sorted(ringed.traces) == sorted(full.traces)[-16:]
+
+    def test_ring_rejects_nonpositive(self):
+        proc = Processor(assemble(counted_loop_program),
+                         baseline_lsq_config())
+        with pytest.raises(ValueError):
+            PipeTracer(proc, ring_size=0)
+
+    def test_ring_does_not_change_timing(self):
+        prog = assemble(counted_loop_program)
+        plain = Processor(prog, baseline_lsq_config()).run()
+        proc = Processor(prog, baseline_lsq_config())
+        tracer = PipeTracer(proc, ring_size=8)
+        ringed = proc.run()
+        assert plain.cycles == ringed.cycles
+        assert plain.counters.as_dict() == ringed.counters.as_dict()
+        assert len(tracer.traces) == 8
+
+
+class TestEpochSnapshots:
+    def run_with_epochs(self, epoch_cycles=100):
+        proc = Processor(assemble(counted_loop_program),
+                         baseline_sfc_mdt_config())
+        return trace_run(proc, epoch_cycles=epoch_cycles), proc
+
+    def test_snapshots_sampled(self):
+        tracer, proc = self.run_with_epochs()
+        assert tracer.epochs
+        assert tracer.epochs[-1].cycle <= proc.cycle
+        epochs = [s.epoch for s in tracer.epochs]
+        assert epochs == sorted(epochs)
+        for snapshot in tracer.epochs:
+            assert 0 <= snapshot.rob_occupancy
+            assert snapshot.retired >= 0
+
+    def test_retired_is_monotonic(self):
+        tracer, _ = self.run_with_epochs()
+        retired = [s.retired for s in tracer.epochs]
+        assert retired == sorted(retired)
+
+    def test_jsonl_export_parses(self):
+        tracer, _ = self.run_with_epochs()
+        lines = tracer.epochs_jsonl().splitlines()
+        assert len(lines) == len(tracer.epochs)
+        for line in lines:
+            snapshot = json.loads(line)
+            assert {"epoch", "cycle", "retired", "rob_occupancy",
+                    "stalls", "violation_rate"} <= set(snapshot)
+
+    def test_write_epochs(self, tmp_path):
+        tracer, _ = self.run_with_epochs()
+        path = tmp_path / "epochs.jsonl"
+        tracer.write_epochs(path)
+        assert len(path.read_text().splitlines()) == len(tracer.epochs)
+
+    def test_epoch_sampling_does_not_change_timing(self):
+        prog = assemble(counted_loop_program)
+        plain = Processor(prog, baseline_sfc_mdt_config()).run()
+        proc = Processor(prog, baseline_sfc_mdt_config())
+        PipeTracer(proc, epoch_cycles=64)
+        sampled = proc.run()
+        assert plain.cycles == sampled.cycles
+        assert plain.counters.as_dict() == sampled.counters.as_dict()
