@@ -11,6 +11,9 @@ or ``repro.harness`` internals:
 * :func:`run_figure` -- regenerate one of the paper's figures/tables;
 * :func:`trace` -- a sampled pipetrace run (ring buffer + epoch
   snapshots) for time-series analysis;
+* :func:`fuzz` -- a differential fuzz campaign cross-checking every
+  memory subsystem against the interpreter oracle
+  (:class:`~repro.verify.fuzzer.FuzzReport`);
 * :func:`list_benchmarks` / :func:`list_configs` / :func:`list_figures`
   -- the name spaces the other calls accept.
 
@@ -146,6 +149,39 @@ def run_figure(name: str, scale: int = 8_000,
                                                  **runner_kwargs))
 
 
+def fuzz(iterations: Optional[int] = None,
+         seconds: Optional[float] = None, seed: int = 0,
+         configs: Optional[Sequence[ConfigLike]] = None,
+         corpus_dir: Optional[str] = None, minimize: bool = True):
+    """Run a differential fuzz campaign; returns a
+    :class:`~repro.verify.fuzzer.FuzzReport`.
+
+    With neither ``iterations`` nor ``seconds`` the campaign runs 100
+    programs.  ``configs=None`` uses the registry-covering default
+    matrix (:func:`repro.harness.configs.fuzz_config_matrix`); names are
+    resolved through :func:`resolve_config`.  When ``corpus_dir`` is
+    given, each failure is minimized (unless ``minimize=False``) and
+    written there as a replayable JSON crash case.
+    """
+    from .verify import DifferentialFuzzer
+
+    resolved = None
+    if configs is not None:
+        resolved = [resolve_config(config) for config in configs]
+    fuzzer = DifferentialFuzzer(configs=resolved)
+    return fuzzer.run(iterations=iterations, seconds=seconds, seed=seed,
+                      corpus_dir=corpus_dir, minimize=minimize)
+
+
+def replay_corpus(corpus_dir: str):
+    """Replay every committed corpus case under ``corpus_dir``; returns
+    a :class:`~repro.verify.corpus.ReplayReport` (``.ok`` iff every
+    case passes the full differential check)."""
+    from .verify import replay_corpus as _replay
+
+    return _replay(corpus_dir)
+
+
 def trace(benchmark: str, config: ConfigLike = "baseline-sfc-mdt",
           scale: int = 2_000, ring_size: Optional[int] = None,
           epoch_cycles: Optional[int] = None,
@@ -167,9 +203,11 @@ __all__ = [
     "CONFIGS",
     "FIGURES",
     "compare",
+    "fuzz",
     "list_benchmarks",
     "list_configs",
     "list_figures",
+    "replay_corpus",
     "resolve_config",
     "run_figure",
     "simulate",

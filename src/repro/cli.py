@@ -15,6 +15,12 @@ Subcommands
 ``bench``
     Measure simulator throughput (instructions/sec); ``--profile`` adds
     the top-N hot functions from cProfile.
+``fuzz``
+    Differentially fuzz every memory subsystem against the in-order
+    interpreter oracle (``--iterations``/``--seconds`` budgets,
+    ``--seed``); failures are minimized and written to ``--corpus DIR``
+    as replayable JSON cases.  ``--replay`` re-checks an existing corpus
+    instead of fuzzing.  Exits nonzero on any mismatch.
 
 Every subcommand takes ``--format text|json`` and ``--out FILE``.  JSON
 output is the versioned results schema (schema_version |SCHEMA|): ``run``
@@ -175,6 +181,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="hot functions to show with --profile "
                             "(default 15)")
     _add_output_flags(bench)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differentially fuzz the memory subsystems "
+                     "against the interpreter oracle")
+    fuzz.add_argument("--iterations", type=int, default=None,
+                      metavar="N",
+                      help="number of random programs to check "
+                           "(default 100 when --seconds is not given)")
+    fuzz.add_argument("--seconds", type=float, default=None,
+                      metavar="S",
+                      help="wall-clock budget; stops at whichever of "
+                           "--iterations/--seconds is hit first")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first generator seed; iteration i uses "
+                           "seed+i (default 0)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="write minimized failing cases into DIR "
+                           "(also the directory --replay reads)")
+    fuzz.add_argument("--configs", nargs="+", default=None,
+                      choices=sorted(api.CONFIGS),
+                      help="fuzz only these presets instead of the "
+                           "registry-covering default matrix")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="archive failing programs without "
+                           "delta-debugging them first")
+    fuzz.add_argument("--replay", action="store_true",
+                      help="replay the corpus in --corpus instead of "
+                           "generating new programs")
+    _add_output_flags(fuzz)
     return parser
 
 
@@ -282,18 +317,49 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    if args.replay:
+        if not args.corpus:
+            print("--replay requires --corpus DIR", file=sys.stderr)
+            return 2
+        report = api.replay_corpus(args.corpus)
+        if args.format == "json":
+            _emit(_envelope("fuzz-replay", **report.to_dict()), args)
+        else:
+            _emit(report.format(), args)
+        return 0 if report.ok else 1
+    report = api.fuzz(iterations=args.iterations, seconds=args.seconds,
+                      seed=args.seed, configs=args.configs,
+                      corpus_dir=args.corpus,
+                      minimize=not args.no_minimize)
+    if args.format == "json":
+        _emit(json.dumps(report.to_dict(), sort_keys=True, indent=2),
+              args)
+    else:
+        _emit(report.format(), args)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
+    except OSError as exc:
+        # Malformed --out / --corpus / --trace-out paths and the like
+        # should exit with a message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 2
 
 

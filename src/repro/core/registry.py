@@ -27,7 +27,7 @@ registry use so that importing this module never creates a cycle.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List
 
 #: name -> class-or-factory, in registration order.
 _REGISTRY: Dict[str, Callable] = {}
@@ -78,6 +78,17 @@ def available() -> List[str]:
 def is_registered(name: str) -> bool:
     _ensure_builtins()
     return name in _REGISTRY
+
+
+def missing_coverage(covered: Iterable[str]) -> List[str]:
+    """Registered subsystems absent from ``covered``, sorted.
+
+    The differential fuzzer calls this with the subsystem names its
+    configuration matrix exercises, so registering a new subsystem
+    without adding it to the fuzz matrix fails loudly instead of
+    silently shipping unfuzzed."""
+    _ensure_builtins()
+    return sorted(set(_REGISTRY) - set(covered))
 
 
 def validate(name: str) -> str:

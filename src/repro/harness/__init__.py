@@ -7,6 +7,7 @@ from .configs import (
     aggressive_sfc_mdt_config,
     baseline_lsq_config,
     baseline_sfc_mdt_config,
+    fuzz_config_matrix,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "aggressive_sfc_mdt_config",
     "baseline_lsq_config",
     "baseline_sfc_mdt_config",
+    "fuzz_config_matrix",
 ]

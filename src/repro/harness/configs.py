@@ -138,6 +138,33 @@ def aggressive_sfc_mdt_config(mode: str = TOTAL,
         **_aggressive_kwargs())
 
 
+def fuzz_config_matrix() -> list:
+    """The differential fuzzer's default configuration matrix.
+
+    One row per behaviour class worth cross-checking: the associative
+    LSQ baseline, the enforcing and non-enforcing SFC/MDT designs, a
+    degenerate 1x1 SFC/MDT (maximal replay pressure), the aggressive
+    wide-window SFC/MDT, and value-based retirement replay.  Together
+    the rows cover every subsystem in :mod:`repro.core.registry`
+    (:func:`repro.verify.fuzzer.DifferentialFuzzer` asserts this, so a
+    newly registered subsystem must either join this matrix or be
+    fuzzed with an explicit config list).
+    """
+    tiny = baseline_sfc_mdt_config(sfc_sets=1, mdt_sets=1,
+                                   name="fuzz-tiny-sfc-mdt")
+    tiny.sfc.assoc = 1
+    tiny.mdt.assoc = 1
+    return [
+        baseline_lsq_config(),
+        baseline_sfc_mdt_config(),
+        baseline_sfc_mdt_config(mode=NOT_ENF,
+                                name="baseline-sfc-mdt-not_enf"),
+        tiny,
+        aggressive_sfc_mdt_config(),
+        aggressive_load_replay_config(),
+    ]
+
+
 def aggressive_load_replay_config(lq_size: int = 120, sq_size: int = 80,
                                   name: Optional[str] = None
                                   ) -> ProcessorConfig:
@@ -160,6 +187,7 @@ __all__ = [
     "aggressive_sfc_mdt_config",
     "baseline_lsq_config",
     "baseline_sfc_mdt_config",
+    "fuzz_config_matrix",
     "ENF",
     "NOT_ENF",
     "TOTAL",

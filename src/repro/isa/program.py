@@ -8,6 +8,7 @@ executes down mispredicted paths, which may run off the end of the program.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional
 
 from .instructions import HALT, NOP, Instruction
@@ -62,3 +63,39 @@ class Program:
         for i, inst in enumerate(self.instructions):
             lines.append(f"{i * INSTRUCTION_BYTES:#06x}: {inst!r}")
         return "\n".join(lines)
+
+    def to_asm(self) -> str:
+        """Complete textual form: data directives plus the disassembly.
+
+        Unlike :meth:`disassemble`, the output carries the initial data
+        segments, so ``parse_asm(program.to_asm())`` rebuilds an
+        equivalent program -- the replayable-corpus and failure-shrinking
+        machinery in :mod:`repro.verify` round-trips programs through
+        this form.  Branch targets appear as absolute byte addresses.
+        """
+        lines = []
+        for addr in sorted(self.data):
+            payload = self.data[addr]
+            for start in range(0, len(payload), 16):
+                chunk = payload[start:start + 16]
+                lines.append(f".data {addr + start:#x} bytes "
+                             + " ".join(str(b) for b in chunk))
+        for inst in self.instructions:
+            lines.append(repr(inst))
+        return "\n".join(lines)
+
+    def digest(self) -> str:
+        """Content hash (sha256 hex) of the executable image.
+
+        Covers every instruction field and every data segment, but not
+        the display name, so two identically generated programs compare
+        equal.  Guards the random-program generator against
+        nondeterminism (dict-order or global-``random`` leakage)."""
+        hasher = hashlib.sha256()
+        for inst in self.instructions:
+            hasher.update(repr((inst.op, inst.rd, inst.rs1, inst.rs2,
+                                inst.imm)).encode())
+        for addr in sorted(self.data):
+            hasher.update(repr(addr).encode())
+            hasher.update(self.data[addr])
+        return hasher.hexdigest()

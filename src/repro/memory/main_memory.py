@@ -9,6 +9,7 @@ wrong-path loads harmless.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Tuple
 
 PAGE_SHIFT = 12
@@ -92,3 +93,22 @@ class MainMemory:
         """Yield ``(base_address, contents)`` for every allocated page."""
         for idx in sorted(self._pages):
             yield idx << PAGE_SHIFT, bytes(self._pages[idx])
+
+    def digest(self) -> str:
+        """Content hash (sha256 hex) of the architectural memory image.
+
+        All-zero pages hash identically to absent pages, so an image is
+        compared by *contents*, not by which pages happened to be
+        allocated (a wrong-path load allocates pages without changing
+        any byte).  The differential fuzzer uses this to cross-check
+        final memory between the interpreter oracle and every pipeline
+        configuration."""
+        hasher = hashlib.sha256()
+        zero_page = bytes(PAGE_SIZE)
+        for idx in sorted(self._pages):
+            page = self._pages[idx]
+            if page == zero_page:
+                continue
+            hasher.update(repr(idx).encode())
+            hasher.update(bytes(page))
+        return hasher.hexdigest()

@@ -34,6 +34,11 @@ SCHEMA_VERSION = 1
 #: the ``schema_version`` field.
 KIND_RUN = "run"
 
+#: ``kind`` discriminator for a differential-fuzz campaign summary
+#: (:meth:`repro.verify.fuzzer.FuzzReport.to_dict`); same
+#: ``schema_version`` field as every other envelope.
+KIND_FUZZ = "fuzz"
+
 
 class SchemaError(ValueError):
     """A payload does not conform to the RunRecord schema."""

@@ -323,7 +323,11 @@ class Processor:
                 # load consumed stale data; retire it with the corrected
                 # value and flush everything that may have used the old
                 # one.  The physical register becomes architectural state
-                # here, so it must carry the corrected value too.
+                # here, so it must carry the corrected value too.  The
+                # subsystem replays the raw memory bytes; signed loads
+                # need the same extension the execute path applies.
+                if inst.op in (ops.LB, ops.LH, ops.LW):
+                    corrected = sign_extend(corrected, head.size * 8)
                 head.dest_value = corrected
                 if head.rd_phys is not None:
                     self.rename.write(head.rd_phys, corrected)

@@ -1,0 +1,40 @@
+"""Differential verification: fuzzer, failure minimizer, crash corpus.
+
+The oracle hierarchy (see DESIGN.md):
+
+1. the in-order interpreter (:mod:`repro.isa.interp`) defines
+   architectural truth -- the retirement trace and final memory image;
+2. the associative-LSQ baseline pipeline must match it exactly;
+3. every SFC/MDT and load-replay configuration must match both.
+
+:class:`DifferentialFuzzer` stress-tests the full hierarchy on random
+adversarial programs; :func:`shrink_failure` delta-debugs any failure to
+a minimal instruction sequence; :mod:`~repro.verify.corpus` persists
+minimized failures as replayable JSON regression cases.
+"""
+
+from .corpus import (
+    CASE_SCHEMA_VERSION,
+    CorpusError,
+    CrashCase,
+    ReplayReport,
+    load_corpus,
+    replay_case,
+    replay_corpus,
+)
+from .fuzzer import DifferentialFuzzer, FuzzMismatch, FuzzReport
+from .shrink import shrink_failure
+
+__all__ = [
+    "CASE_SCHEMA_VERSION",
+    "CorpusError",
+    "CrashCase",
+    "DifferentialFuzzer",
+    "FuzzMismatch",
+    "FuzzReport",
+    "ReplayReport",
+    "load_corpus",
+    "replay_case",
+    "replay_corpus",
+    "shrink_failure",
+]

@@ -1,0 +1,135 @@
+"""Delta-debugging minimizer for fuzzer failures.
+
+Given a program on which the differential fuzzer found a mismatch, the
+shrinker reduces it to a (locally) minimal instruction sequence that
+still reproduces the *same* failure -- same mismatch ``kind`` on the
+same configuration.  Minimal cases turn a 400-instruction random blob
+into the five-line store/load interleaving a human can actually debug,
+and they are what gets committed to the regression corpus.
+
+The reduction operates on the textual assembly emitted by
+:meth:`repro.isa.program.Program.to_asm`, whose lines round-trip through
+:func:`repro.isa.parser.parse_asm`.  Working at line granularity keeps
+the representation trivially splicable; branch targets are absolute byte
+addresses, so removing a line shifts the meaning of everything after it
+-- which is fine, because every candidate is re-assembled and re-judged
+from scratch (a candidate that no longer assembles, no longer halts, or
+fails *differently* is simply rejected).
+
+The algorithm is the classic ``ddmin``: try removing chunks of
+decreasing size (half, quarter, ... single lines) and restart whenever a
+removal keeps the failure alive, until no single line can be removed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..isa.assembler import AssemblyError
+from ..isa.interp import ExecutionLimitExceeded, Interpreter
+from ..isa.parser import parse_asm
+from ..isa.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fuzzer import DifferentialFuzzer, FuzzMismatch
+
+#: Hard cap on predicate evaluations per shrink, so a pathological case
+#: cannot stall a campaign (each evaluation simulates the candidate on
+#: the full configuration matrix).
+MAX_PREDICATE_CALLS = 400
+
+#: Tighter architectural budget for shrink candidates: a mutated
+#: program that spins for a long time is not a useful minimal case.
+SHRINK_TRACE_LIMIT = 200_000
+
+
+def _assemble(lines: List[str]) -> Optional[Program]:
+    """Parse candidate lines back into a program, or ``None`` if the
+    splice broke assembly (e.g. removed a ``.data`` continuation)."""
+    text = "\n".join(lines)
+    if not text.strip():
+        return None
+    try:
+        return parse_asm(text, name="shrink-candidate")
+    except (AssemblyError, ValueError):
+        return None
+
+
+def _halts(program: Program) -> bool:
+    try:
+        Interpreter(program).run(SHRINK_TRACE_LIMIT)
+    except ExecutionLimitExceeded:
+        return False
+    return True
+
+
+class _Reducer:
+    """One shrink run: predicate state + ddmin loop."""
+
+    def __init__(self, fuzzer: "DifferentialFuzzer",
+                 failure: "FuzzMismatch"):
+        self.fuzzer = fuzzer
+        self.kind = failure.kind
+        self.config_name = failure.config_name
+        self.calls = 0
+
+    def reproduces(self, program: Program) -> bool:
+        """True iff the candidate still triggers the original mismatch
+        (same kind, same configuration) -- and is well-formed enough to
+        be worth keeping (assembles, halts on the oracle)."""
+        if self.calls >= MAX_PREDICATE_CALLS:
+            return False
+        self.calls += 1
+        if not _halts(program):
+            return False
+        for mismatch in self.fuzzer.check_program(program):
+            if mismatch.kind == self.kind and \
+                    mismatch.config_name == self.config_name:
+                return True
+        return False
+
+    def reduce_lines(self, lines: List[str]) -> List[str]:
+        """ddmin over assembly lines; returns a 1-minimal line list."""
+        chunk = max(1, len(lines) // 2)
+        while chunk >= 1:
+            removed_any = True
+            while removed_any and len(lines) > 1:
+                removed_any = False
+                start = 0
+                while start < len(lines):
+                    if self.calls >= MAX_PREDICATE_CALLS:
+                        return lines
+                    candidate_lines = (lines[:start]
+                                       + lines[start + chunk:])
+                    candidate = _assemble(candidate_lines)
+                    if candidate is not None and \
+                            self.reproduces(candidate):
+                        lines = candidate_lines
+                        removed_any = True
+                        # do not advance: the next chunk now sits at
+                        # the same index
+                    else:
+                        start += chunk
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+        return lines
+
+
+def shrink_failure(fuzzer: "DifferentialFuzzer", program: Program,
+                   failure: "FuzzMismatch") -> Program:
+    """Reduce ``program`` to a minimal one reproducing ``failure``.
+
+    Returns the original program untouched when the failure does not
+    reproduce from the round-tripped assembly (e.g. an ``oracle-error``
+    about non-termination, which :func:`_halts` deliberately filters) or
+    when nothing can be removed.
+    """
+    reducer = _Reducer(fuzzer, failure)
+    lines = program.to_asm().splitlines()
+    baseline = _assemble(lines)
+    if baseline is None or not reducer.reproduces(baseline):
+        return program
+    reduced = reducer.reduce_lines(lines)
+    final = _assemble(reduced)
+    return final if final is not None else program

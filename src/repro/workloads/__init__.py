@@ -1,7 +1,12 @@
 """Synthetic SPEC-2000-styled workloads and a random program generator."""
 
 from .builder import KernelBuilder
-from .randprog import RandomProgramBuilder, random_program
+from .randprog import (
+    FuzzProgramBuilder,
+    RandomProgramBuilder,
+    fuzz_program,
+    random_program,
+)
 from .suites import (
     ALL_BENCHMARKS,
     FIGURE5_BENCHMARKS,
@@ -17,10 +22,12 @@ __all__ = [
     "FIGURE5_BENCHMARKS",
     "FIGURE6_BENCHMARKS",
     "FP_BENCHMARKS",
+    "FuzzProgramBuilder",
     "INT_BENCHMARKS",
     "KernelBuilder",
     "RandomProgramBuilder",
     "build",
+    "fuzz_program",
     "is_fp",
     "random_program",
 ]

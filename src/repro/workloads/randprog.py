@@ -190,3 +190,83 @@ class RandomProgramBuilder:
 def random_program(seed: int, max_blocks: int = 12) -> Program:
     """Generate one random, always-halting hazard-rich program."""
     return RandomProgramBuilder(seed, max_blocks=max_blocks).build()
+
+
+class FuzzProgramBuilder(RandomProgramBuilder):
+    """Adversarial variant of the generator for differential fuzzing.
+
+    Extends :class:`RandomProgramBuilder` with the access shapes most
+    likely to expose memory-subsystem divergence:
+
+    * **unaligned offsets** -- immediate-addressed accesses at any byte
+      offset, so 2/4/8-byte accesses straddle SFC words and MDT granules
+      without going through the register-indexed path;
+    * **byte-granularity partial forwarding** -- a wide store followed by
+      narrow loads of its interior bytes (forwardable sub-ranges) and a
+      narrow store followed by a wide load over it (a partial match the
+      SFC must *refuse* to forward);
+    * **overlapping stores** -- differently sized stores over the same
+      bytes, then a load of the overlap (output-dependence and
+      merge-order fodder);
+    * **deeper loop nests** -- loop depth 3 (every loop register), so
+      stores retire while aliasing loads from the next iteration are
+      already in flight.
+    """
+
+    def __init__(self, seed: int, max_blocks: int = 12,
+                 loop_depth_limit: int = 3):
+        super().__init__(seed, max_blocks=max_blocks,
+                         loop_depth_limit=loop_depth_limit)
+
+    def _offset(self, size: int) -> int:
+        # One access in four lands on an arbitrary byte boundary.
+        if self.rng.random() < 0.25:
+            return self.rng.randrange(ARENA_BYTES - size)
+        return super()._offset(size)
+
+    def _emit_partial_forward(self) -> None:
+        rng = self.rng
+        wide_op, wide_size = rng.choice([("sw", 4), ("sd", 8)])
+        offset = rng.randrange(ARENA_BYTES - wide_size)
+        getattr(self.asm, wide_op)(self._reg(), BASE_REG, offset)
+        if rng.random() < 0.5:
+            # Narrow loads of the wide store's interior bytes.
+            for _ in range(rng.randint(1, 3)):
+                narrow_op, narrow_size = rng.choice(
+                    [("lbu", 1), ("lb", 1), ("lhu", 2), ("lh", 2)])
+                inner = rng.randrange(wide_size - narrow_size + 1)
+                getattr(self.asm, narrow_op)(self._reg(), BASE_REG,
+                                             offset + inner)
+        else:
+            # A narrow store inside the range, then a wide load over it:
+            # the load partially matches in-flight store data.
+            narrow_op, narrow_size = rng.choice([("sb", 1), ("sh", 2)])
+            inner = rng.randrange(wide_size - narrow_size + 1)
+            getattr(self.asm, narrow_op)(self._reg(), BASE_REG,
+                                         offset + inner)
+            load_op = {4: "lwu", 8: "ld"}[wide_size]
+            getattr(self.asm, load_op)(self._reg(), BASE_REG, offset)
+
+    def _emit_overlapping_stores(self) -> None:
+        rng = self.rng
+        offset = rng.randrange(ARENA_BYTES - 16)
+        ops = rng.sample(_STORE_EMITTERS, 2)
+        for op in ops:
+            shift = rng.randrange(4)
+            getattr(self.asm, op)(self._reg(), BASE_REG, offset + shift)
+        load_op = rng.choice(_LOAD_EMITTERS)
+        getattr(self.asm, load_op)(self._reg(), BASE_REG, offset)
+
+    def _emit_body(self, depth: int) -> None:
+        choice = self.rng.random()
+        if choice < 0.12:
+            self._emit_partial_forward()
+        elif choice < 0.2:
+            self._emit_overlapping_stores()
+        else:
+            super()._emit_body(depth)
+
+
+def fuzz_program(seed: int, max_blocks: int = 12) -> Program:
+    """Generate one adversarial program for the differential fuzzer."""
+    return FuzzProgramBuilder(seed, max_blocks=max_blocks).build()

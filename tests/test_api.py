@@ -38,6 +38,14 @@ class TestSimulate:
             api.simulate("gap", "no-such-preset", scale=1200,
                          **quiet_runner_kwargs())
 
+    def test_unknown_config_message_lists_presets(self):
+        with pytest.raises(KeyError, match="baseline-sfc-mdt"):
+            api.resolve_config("no-such-preset")
+
+    def test_unknown_workload_rejected_with_message(self):
+        with pytest.raises(KeyError, match="doom"):
+            api.simulate("doom", scale=1200, **quiet_runner_kwargs())
+
 
 class TestCompare:
     def test_records_in_request_order(self):

@@ -151,3 +151,70 @@ class TestJsonFormat:
     def test_trace_out_requires_epoch_cycles(self):
         assert main(["run", "gap", "--scale", "1500", "--no-cache",
                      "--trace-out", "x.jsonl"]) == 2
+
+
+class TestErrorPaths:
+    """Bad inputs exit with a message, never a traceback."""
+
+    def test_unknown_config_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["run", "gap", "--config", "no-such-preset"])
+
+    def test_malformed_out_path_exits_cleanly(self, tmp_path, capsys):
+        # The parent "directory" is a regular file, so the write must
+        # fail -- with exit code 2 and a message, not an OSError dump.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        bad = blocker / "sub" / "out.json"
+        assert main(["list", "--format", "json",
+                     "--out", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_clean_campaign_never_touches_corpus_dir(self, tmp_path,
+                                                     capsys):
+        # Corpus directories are created lazily, on the first failure:
+        # a clean campaign with an unusable --corpus path still passes.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(["fuzz", "--iterations", "1", "--seed", "0",
+                     "--corpus", str(blocker / "corpus")]) == 0
+        assert not (blocker / "corpus").exists()
+        capsys.readouterr()
+
+    def test_replay_requires_corpus(self, capsys):
+        assert main(["fuzz", "--replay"]) == 2
+        assert "--corpus" in capsys.readouterr().err
+
+
+class TestFuzzCli:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--iterations", "5", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "no mismatches" in out
+        assert "5 programs" in out
+
+    def test_json_envelope(self, capsys):
+        assert main(["fuzz", "--iterations", "3", "--seed", "2",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "fuzz"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["ok"] is True
+        assert payload["iterations"] == 3
+        assert payload["failures"] == []
+        assert len(payload["configurations"]) >= 4
+
+    def test_explicit_config_subset(self, capsys):
+        assert main(["fuzz", "--iterations", "3",
+                     "--configs", "baseline-lsq", "--format",
+                     "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["configurations"] == ["baseline-lsq-48x32"]
+
+    def test_replay_empty_corpus_ok(self, tmp_path, capsys):
+        empty = tmp_path / "corpus"
+        empty.mkdir()
+        assert main(["fuzz", "--replay", "--corpus", str(empty)]) == 0
+        assert "0 case(s)" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Replay every committed corpus case as a tier-1 regression test.
+
+Each JSON document under ``corpus/`` is a minimized program that once
+exposed a bug (or locks in an adversarial access pattern).  This module
+parametrizes over the directory, so dropping a new case file in --
+which ``repro fuzz --corpus corpus`` does automatically on a failure --
+adds a regression test with no further wiring.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import CrashCase, DifferentialFuzzer, load_corpus
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+_CASES = load_corpus(CORPUS_DIR)
+
+
+@pytest.fixture(scope="module")
+def fuzzer():
+    return DifferentialFuzzer()
+
+
+def test_corpus_is_committed():
+    # The repo ships regression cases; an empty directory means the
+    # checkout (or the loader) is broken.
+    assert _CASES, f"no corpus cases found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("case", _CASES, ids=lambda case: case.name)
+class TestCorpusReplay:
+    def test_program_assembles(self, case: CrashCase):
+        program = case.program()
+        assert program.instructions
+
+    def test_differentially_clean(self, case: CrashCase, fuzzer):
+        mismatches = fuzzer.check_program(case.program(), seed=case.seed)
+        assert not mismatches, "\n".join(
+            f"[{m.kind}] {m.config_name}: {m.detail}" for m in mismatches)

@@ -212,6 +212,41 @@ class TestFlushesAndScrub:
         mdt.scrub(watermark=10)
         assert mdt.occupancy() == 1
 
+    def test_wrong_path_flush_of_every_store_stays_conservative(self):
+        """A recovery flush that squashes every in-flight store leaves
+        their recorded sequence numbers behind (Section 2.2): the very
+        next older load still sees the canceled store and replays/flags
+        conservatively rather than missing a real ordering risk."""
+        mdt = make_mdt()
+        mdt.access_store(0x100, 8, seq=10, pc=0x10, watermark=0)
+        mdt.access_store(0x180, 8, seq=12, pc=0x18, watermark=0)
+        # Recovery point 0 is older than both stores: total squash.
+        mdt.on_partial_flush(flush_after_seq=0)
+        result = mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        assert any(v.kind == ANTI_DEP for v in result.violations)
+
+    def test_wrong_path_flush_of_every_store_drops_counted_loads(self):
+        """The §2.4.1 completed-load sets must not leak squashed loads:
+        after a total squash the store falls back to conservative
+        store-point recovery instead of targeting a ghost load."""
+        mdt = make_mdt(counted=True)
+        mdt.access_load(0x100, 8, seq=10, pc=0x14, watermark=0)
+        mdt.access_load(0x100, 8, seq=12, pc=0x24, watermark=0)
+        mdt.on_partial_flush(flush_after_seq=0)
+        result = mdt.access_store(0x100, 8, seq=5, pc=0x10, watermark=0)
+        assert result.violations
+        assert result.violations[0].flush_after_seq == 5
+
+    def test_full_flush_then_out_of_order_seqs_are_clean(self):
+        """After a full flush nothing is in flight, so a low-seq access
+        arriving after a squashed high-seq store must not conflict."""
+        mdt = make_mdt()
+        mdt.access_store(0x100, 8, seq=10, pc=0x10, watermark=0)
+        mdt.on_full_flush()
+        assert mdt.occupancy() == 0
+        result = mdt.access_load(0x100, 8, seq=5, pc=0x14, watermark=0)
+        assert not result.violations
+
 
 class TestCountedRecovery:
     def test_single_load_flushes_from_load(self):

@@ -13,6 +13,7 @@ ordering checker over the access history.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -34,9 +35,14 @@ from repro.harness.configs import (
     baseline_sfc_mdt_config,
 )
 from repro.memory import MainMemory
-from repro.workloads import random_program
+from repro.workloads import fuzz_program, random_program
 
 _SLOW = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+#: Nightly-only profile: same properties, an order of magnitude more
+#: examples (the tier-1 run keeps the 25-example profile above).
+_DEEP = settings(max_examples=250, deadline=None,
                  suppress_health_check=[HealthCheck.too_slow])
 
 
@@ -93,6 +99,34 @@ class TestPipelineEquivalence:
         first = Processor(prog, config, trace=trace).run()
         second = Processor(prog, config, trace=trace).run()
         assert first.cycles == second.cycles
+
+
+@pytest.mark.slow
+class TestPipelineEquivalenceDeep:
+    """The headline property at nightly depth (250 examples each) and
+    over the fuzz generator's wider program space (unaligned accesses,
+    byte-granularity partial forwards, overlapping stores)."""
+
+    @_DEEP
+    @given(seed=st.integers(min_value=0, max_value=1_000_000))
+    def test_baseline_lsq_matches_iss(self, seed):
+        prog = fuzz_program(seed)
+        trace = run_program(prog, 500_000)
+        Processor(prog, baseline_lsq_config(), trace=trace).run()
+
+    @_DEEP
+    @given(seed=st.integers(min_value=0, max_value=1_000_000))
+    def test_baseline_sfc_mdt_matches_iss(self, seed):
+        prog = fuzz_program(seed)
+        trace = run_program(prog, 500_000)
+        Processor(prog, baseline_sfc_mdt_config(), trace=trace).run()
+
+    @_DEEP
+    @given(seed=st.integers(min_value=0, max_value=1_000_000))
+    def test_aggressive_sfc_mdt_matches_iss(self, seed):
+        prog = fuzz_program(seed)
+        trace = run_program(prog, 500_000)
+        Processor(prog, aggressive_sfc_mdt_config(), trace=trace).run()
 
 
 # -- SFC reference model -------------------------------------------------------

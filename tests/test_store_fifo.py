@@ -71,3 +71,53 @@ class TestStoreFifo:
         fifo = StoreFifo(4)
         with pytest.raises(RuntimeError):
             fifo.retire(1)
+
+
+class TestWrongPathFullSquash:
+    """A wrong-path flush that squashes every in-flight store must leave
+    the FIFO indistinguishable from a fresh one."""
+
+    def test_flush_after_all_filled_stores(self):
+        fifo = StoreFifo(4)
+        for seq in (3, 7, 11):
+            assert fifo.dispatch(seq)
+            fifo.fill(seq, addr=0x100 + seq * 8, size=8, data=seq)
+        # The recovery point is older than every in-flight store.
+        assert fifo.flush_after(2) == 3
+        assert len(fifo) == 0
+        assert not fifo.full
+
+    def test_fifo_usable_after_total_squash(self):
+        fifo = StoreFifo(2)
+        fifo.dispatch(5)
+        fifo.dispatch(6)
+        assert fifo.full
+        fifo.flush_after(0)
+        # Post-flush the full capacity is available again, and the
+        # normal dispatch/fill/retire protocol works on new sequence
+        # numbers (the squashed ones never retire).
+        assert fifo.dispatch(10)
+        assert fifo.dispatch(11)
+        fifo.fill(10, addr=0x200, size=4, data=1)
+        fifo.fill(11, addr=0x208, size=4, data=2)
+        assert fifo.retire(10).data == 1
+        assert fifo.retire(11).data == 2
+        assert len(fifo) == 0
+
+    def test_squashed_store_cannot_retire(self):
+        fifo = StoreFifo(4)
+        fifo.dispatch(1)
+        fifo.fill(1, addr=0x100, size=8, data=9)
+        fifo.flush_after(0)
+        with pytest.raises(RuntimeError):
+            fifo.retire(1)
+
+    def test_flush_all_with_filled_slots(self):
+        fifo = StoreFifo(4)
+        for seq in (1, 2, 3):
+            fifo.dispatch(seq)
+            fifo.fill(seq, addr=0x100, size=8, data=seq)
+        fifo.flush_all()
+        assert len(fifo) == 0
+        with pytest.raises(RuntimeError):
+            fifo.retire(1)
