@@ -8,6 +8,9 @@ or ``repro.harness`` internals:
 
 * :func:`simulate` -- one (benchmark, configuration) cell -> RunRecord;
 * :func:`compare` -- one benchmark under several configurations;
+* :func:`run_suite` -- a fault-tolerant (benchmark x configuration)
+  grid -> RunRecords, including structured failure entries for cells
+  whose workers crashed, hung, or kept raising;
 * :func:`run_figure` -- regenerate one of the paper's figures/tables;
 * :func:`trace` -- a sampled pipetrace run (ring buffer + epoch
   snapshots) for time-series analysis;
@@ -135,6 +138,40 @@ def compare(benchmark: str,
             (benchmark, config.name) in grid]
 
 
+def run_suite(benchmarks: Optional[Sequence[str]] = None,
+              configs: Optional[Sequence[ConfigLike]] = None,
+              scale: int = DEFAULT_SCALE,
+              jobs: Optional[int] = None,
+              cell_timeout: Optional[float] = None,
+              max_retries: Optional[int] = None,
+              runner: Optional[ExperimentRunner] = None,
+              **runner_kwargs) -> List[RunRecord]:
+    """Run a fault-tolerant (benchmark x configuration) grid.
+
+    Returns one :class:`RunRecord` per grid cell *including* structured
+    failure entries (``status`` failed/timeout, ``attempts``,
+    ``error``) for cells that exhausted their retry budget -- a crashed
+    or hung worker never discards the rest of the grid.  Completed
+    cells checkpoint to the persistent cache as they finish, so calling
+    again with the same runner settings resumes an interrupted sweep
+    (only missing/failed cells are re-simulated).
+
+    ``benchmarks`` defaults to every benchmark and ``configs`` to every
+    named preset.  ``cell_timeout`` (seconds) and ``max_retries``
+    override the engine's fault-tolerance knobs for this call.
+    """
+    engine = _runner(scale, runner, **runner_kwargs)
+    names = list(benchmarks) if benchmarks else list_benchmarks()
+    resolved = [resolve_config(config)
+                for config in (configs if configs is not None
+                               else list_configs())]
+    start = len(engine.manifest)
+    engine.run_suite(names, resolved, jobs=jobs,
+                     cell_timeout=cell_timeout, max_retries=max_retries)
+    return [RunRecord.from_dict(entry)
+            for entry in engine.manifest[start:]]
+
+
 def run_figure(name: str, scale: int = 8_000,
                runner: Optional[ExperimentRunner] = None,
                **runner_kwargs) -> "figures.FigureResult":
@@ -210,6 +247,7 @@ __all__ = [
     "replay_corpus",
     "resolve_config",
     "run_figure",
+    "run_suite",
     "simulate",
     "trace",
 ]

@@ -12,6 +12,16 @@ Subcommands
     Run one benchmark under several configurations side by side.
 ``figure NAME``
     Regenerate one of the paper's figures/tables.
+``suite``
+    Run a full (benchmark x configuration) grid through the
+    fault-tolerant engine and archive the manifest.  Failed/timed-out
+    cells are recorded structurally (status, attempts, error) instead
+    of aborting the sweep; ``--resume`` restarts an interrupted sweep,
+    restoring completed cells from the persistent cache so only
+    missing/failed cells are simulated.  ``--timeout``/``--retries``
+    tune the per-cell fault-tolerance knobs; ``--gc-cache`` sweeps
+    unreadable/foreign-format cache entries first.  Exits nonzero when
+    any cell remains failed.
 ``bench``
     Measure simulator throughput (instructions/sec); ``--profile`` adds
     the top-N hot functions from cProfile.
@@ -163,6 +173,40 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(figure)
     _add_output_flags(figure)
 
+    suite = sub.add_parser(
+        "suite", help="run a fault-tolerant, resumable (benchmark x "
+                      "config) grid and archive its manifest")
+    suite.add_argument("--benchmarks", nargs="+",
+                       default=sorted(ALL_BENCHMARKS),
+                       choices=sorted(ALL_BENCHMARKS))
+    suite.add_argument("--configs", nargs="+",
+                       default=sorted(api.CONFIGS),
+                       choices=sorted(api.CONFIGS))
+    suite.add_argument("--scale", type=int, default=20_000,
+                       help="dynamic instruction budget per cell "
+                            "(default 20000)")
+    suite.add_argument("--manifest", default="suite_manifest.json",
+                       metavar="FILE",
+                       help="manifest archive path (default "
+                            "suite_manifest.json); refuses to "
+                            "overwrite unless --resume is given")
+    suite.add_argument("--resume", action="store_true",
+                       help="continue an interrupted sweep: completed "
+                            "cells are restored from the result cache "
+                            "and only missing/failed cells simulate")
+    suite.add_argument("--timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-cell wall-clock timeout in seconds "
+                            "(default: none)")
+    suite.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="extra attempts per failing cell "
+                            "(default 2)")
+    suite.add_argument("--gc-cache", action="store_true",
+                       help="drop unreadable/foreign-format cache "
+                            "entries and stale temp files first")
+    _add_engine_flags(suite)
+    _add_output_flags(suite)
+
     bench = sub.add_parser(
         "bench", help="measure simulator throughput (insts/sec)")
     bench.add_argument("--benchmarks", nargs="+",
@@ -289,6 +333,61 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_suite(args) -> int:
+    manifest_path = Path(args.manifest)
+    if manifest_path.exists() and not args.resume:
+        print(f"error: manifest {manifest_path} already exists; pass "
+              f"--resume to continue the sweep (completed cells are "
+              f"restored from the result cache) or pick another "
+              f"--manifest path", file=sys.stderr)
+        return 2
+    if args.resume and args.no_cache:
+        print("error: --resume needs the persistent result cache "
+              "(drop --no-cache)", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(scale=args.scale, jobs=args.jobs,
+                              cache_dir=args.cache_dir,
+                              use_cache=not args.no_cache,
+                              cell_timeout=args.timeout,
+                              max_retries=args.retries)
+    if args.gc_cache and runner.cache:
+        removed = runner.cache.gc()
+        print(f"cache gc: removed {removed} unreadable/stale files",
+              file=sys.stderr)
+    configs = [api.CONFIGS[name]() for name in args.configs]
+    runner.run_suite(args.benchmarks, configs)
+    runner.write_manifest(manifest_path)
+    failed = [entry for entry in runner.manifest
+              if entry["status"] != "ok"]
+    if args.format == "json":
+        _emit(_envelope("suite", scale=args.scale,
+                        benchmarks=list(args.benchmarks),
+                        configs=list(args.configs),
+                        resumed=bool(args.resume),
+                        cells=len(runner.manifest),
+                        cache_hits=runner.cache_hits,
+                        simulated=runner.cache_misses,
+                        failures=len(failed),
+                        manifest=str(manifest_path),
+                        runs=list(runner.manifest)), args)
+    else:
+        lines = [f"suite: {len(args.benchmarks)} benchmarks x "
+                 f"{len(configs)} configs = {len(runner.manifest)} "
+                 f"cells (scale {args.scale})",
+                 f"  ok: {len(runner.manifest) - len(failed)} "
+                 f"({runner.cache_hits} from cache, "
+                 f"{runner.cache_misses} simulated)",
+                 f"  failed: {len(failed)}"]
+        for entry in failed:
+            lines.append(f"    {entry['benchmark']}/"
+                         f"{entry['config_name']}: {entry['status']} "
+                         f"after {entry['attempts']} attempt(s): "
+                         f"{entry['error']}")
+        lines.append(f"manifest: {manifest_path}")
+        _emit("\n".join(lines), args)
+    return 1 if failed else 0
+
+
 def _cmd_bench(args) -> int:
     configs = [api.CONFIGS[name]() for name in args.configs]
     report = perf.measure_throughput(args.benchmarks, configs,
@@ -351,6 +450,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "figure":
             return _cmd_figure(args)
+        if args.command == "suite":
+            return _cmd_suite(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "fuzz":

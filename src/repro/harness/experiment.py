@@ -1,5 +1,6 @@
 """Experiment engine: (benchmark x configuration) grids, in parallel,
-with golden-trace reuse and a persistent on-disk result cache.
+with golden-trace reuse, a persistent on-disk result cache, and a
+fault-tolerant, resumable scheduler.
 
 One :class:`ExperimentRunner` owns three layers of reuse:
 
@@ -21,13 +22,40 @@ One :class:`ExperimentRunner` owns three layers of reuse:
 The simulator is fully deterministic, so all three paths (serial,
 parallel, cached) produce identical :class:`SimResult` grids.
 
+Fault tolerance (``run_suite``)
+-------------------------------
+
+Long sweeps must survive worker crashes, hangs, and restarts instead of
+losing every completed-but-unreported cell.  ``run_suite`` therefore
+dispatches cells with ``submit``/``wait`` instead of an eager ordered
+``pool.map``:
+
+* completed cells **checkpoint to the persistent cache as they finish**,
+  so an interrupted sweep resumes from the cache (``repro suite
+  --resume``) instead of re-simulating everything;
+* each failing cell is retried with exponential backoff up to
+  ``max_retries`` extra attempts; a worker crash
+  (``BrokenProcessPool``) triggers pool re-creation and requeues every
+  in-flight cell, re-running ambiguous crash victims solo so the crash
+  is attributed to exactly one cell;
+* an optional per-cell wall-clock timeout (``cell_timeout``) reclaims
+  hung workers by tearing the pool down and rescheduling the innocent
+  in-flight cells;
+* when the pool repeatedly fails without making progress
+  (``max_pool_rebuilds``), the engine degrades gracefully to serial
+  in-process execution of the remaining cells;
+* cells that exhaust their budget land in the manifest as structured
+  failure entries (``status`` failed/timeout, ``attempts``, ``error``)
+  instead of raising away the rest of the grid.
+
 Every cell additionally appends one versioned
 :class:`~repro.obs.runrecord.RunRecord` dict to :attr:`ExperimentRunner.
 manifest` -- schema version, config dict, cycles, IPC, metric snapshot,
-wall-time, and engine/cache provenance -- which the figure layer, the
-benches, ``repro.api``, and the CLI's ``--format json`` all consume
-instead of ad-hoc prints (see :func:`repro.harness.figures.
-manifest_table` and :meth:`ExperimentRunner.records`).
+wall-time, engine/cache provenance, and the fault-tolerance outcome --
+which the figure layer, the benches, ``repro.api``, and the CLI's
+``--format json`` all consume instead of ad-hoc prints (see
+:func:`repro.harness.figures.manifest_table` and
+:meth:`ExperimentRunner.records`).
 """
 
 from __future__ import annotations
@@ -36,13 +64,20 @@ import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..isa.interp import RetireRecord, run_program
 from ..isa.program import Program
-from ..obs.runrecord import RunRecord
+from ..obs.runrecord import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunRecord,
+)
 from ..pipeline.config import ProcessorConfig
 from ..pipeline.processor import Processor, SimResult
 from ..stats.counters import Counters
@@ -62,6 +97,23 @@ CACHE_FORMAT = 1
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Default retry budget: extra attempts after the first per grid cell.
+DEFAULT_MAX_RETRIES = 2
+
+#: First retry delay in seconds; doubles per attempt, capped at 4s.
+DEFAULT_RETRY_BACKOFF = 0.25
+
+#: Consecutive pool failures without a completed cell before the engine
+#: degrades to serial in-process execution.
+DEFAULT_MAX_POOL_REBUILDS = 6
+
+#: Age (seconds) past which an orphaned ``*.tmp.*`` cache file from a
+#: crashed writer is swept on cache open.  Younger temps may belong to a
+#: concurrent writer and are left alone.
+STALE_TEMP_SECONDS = 3600.0
+
+_CRASH_ERROR = "worker process crashed (BrokenProcessPool)"
 
 
 def cache_key(benchmark: str, scale: int, config: ProcessorConfig) -> str:
@@ -84,13 +136,18 @@ def cache_key(benchmark: str, scale: int, config: ProcessorConfig) -> str:
 class ResultCache:
     """One-JSON-file-per-result cache under a directory.
 
-    Files are written atomically (temp file + rename) so concurrent
-    runners sharing a cache directory can only ever observe complete
-    entries; unreadable or corrupt entries read as misses.
+    Files are written atomically (collision-proof temp file + rename) so
+    concurrent runners sharing a cache directory -- even across hosts --
+    can only ever observe complete entries; unreadable or corrupt
+    entries read as misses.  Opening the cache sweeps temp files
+    orphaned by crashed writers; :meth:`gc` additionally drops entries
+    this build can never read (foreign ``CACHE_FORMAT`` or corrupt
+    JSON).
     """
 
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory)
+        self.sweep_stale_temps()
 
     def path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -108,9 +165,62 @@ class ResultCache:
     def store(self, key: str, payload: dict) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         final = self.path(key)
-        tmp = final.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        tmp.replace(final)
+        # pid alone collides across hosts sharing REPRO_CACHE_DIR; add
+        # random bytes so two writers can never race on one temp name.
+        tmp = final.with_name(
+            f"{final.name}.tmp.{os.getpid()}.{os.urandom(6).hex()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(final)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+
+    def sweep_stale_temps(self,
+                          max_age: float = STALE_TEMP_SECONDS) -> int:
+        """Delete ``*.tmp.*`` files older than ``max_age`` seconds
+        (orphans of crashed writers); returns the number removed."""
+        removed = 0
+        now = time.time()
+        try:
+            candidates = list(self.directory.glob("*.tmp.*"))
+        except OSError:
+            return 0
+        for tmp in candidates:
+            try:
+                if now - tmp.stat().st_mtime >= max_age:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def gc(self) -> int:
+        """Drop every entry this build cannot read -- corrupt JSON or a
+        foreign ``CACHE_FORMAT`` -- plus all temp files; returns the
+        number of files removed."""
+        removed = self.sweep_stale_temps(max_age=0.0)
+        try:
+            entries = list(self.directory.glob("*.json"))
+        except OSError:
+            return removed
+        for entry in entries:
+            try:
+                payload = json.loads(entry.read_text())
+                readable = isinstance(payload, dict) and \
+                    payload.get("format") == CACHE_FORMAT
+            except (OSError, ValueError):
+                readable = False
+            if not readable:
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
 
 
 def _simulate_cell(program: Program, trace: List[RetireRecord],
@@ -132,23 +242,54 @@ def _simulate_cell(program: Program, trace: List[RetireRecord],
     }
 
 
-def _simulate_task(task: Tuple[Program, List[RetireRecord],
-                               ProcessorConfig]) -> dict:
-    """Single-argument adapter for ``ProcessPoolExecutor.map``."""
-    return _simulate_cell(*task)
+class _Cell:
+    """One uncached grid cell: a unique cache key plus every
+    (benchmark, config) alias that hashes to it, and its retry state."""
+
+    __slots__ = ("benchmark", "configs", "key", "attempts", "timeouts",
+                 "error")
+
+    def __init__(self, benchmark: str, config: ProcessorConfig, key: str):
+        self.benchmark = benchmark
+        self.configs = [config]  # aliases sharing one cache entry
+        self.key = key
+        self.attempts = 0        # submissions charged to this cell
+        self.timeouts = 0        # how many of those hit the timeout
+        self.error = ""
+
+    @property
+    def primary(self) -> ProcessorConfig:
+        return self.configs[0]
+
+
+class _PoolUnusable(Exception):
+    """The process pool failed repeatedly without completing any cell;
+    the caller should degrade to serial execution."""
 
 
 class ExperimentRunner:
     """Runs (benchmark x configuration) grids with golden-trace reuse,
-    process-pool parallelism, and persistent result caching."""
+    fault-tolerant process-pool parallelism, and persistent result
+    caching."""
 
     def __init__(self, scale: int = DEFAULT_SCALE, verbose: bool = False,
                  jobs: Optional[int] = None,
                  cache_dir: Optional[Union[str, Path]] = None,
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 cell_timeout: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS):
         self.scale = scale
         self.verbose = verbose
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        #: Per-cell wall-clock timeout in seconds (None/0 disables).
+        self.cell_timeout = cell_timeout
+        #: Extra attempts per failing cell beyond the first.
+        self.max_retries = DEFAULT_MAX_RETRIES if max_retries is None \
+            else max_retries
+        self.retry_backoff = retry_backoff
+        self.max_pool_rebuilds = max_pool_rebuilds
         if use_cache:
             self.cache: Optional[ResultCache] = ResultCache(
                 cache_dir or os.environ.get("REPRO_CACHE_DIR",
@@ -159,6 +300,11 @@ class ExperimentRunner:
         self.manifest: List[dict] = []
         self._programs: Dict[str, Program] = {}
         self._traces: Dict[str, List[RetireRecord]] = {}
+        #: Injection points for failure testing: the per-cell worker
+        #: function (must stay picklable) and the pool constructor.
+        self._cell_fn = _simulate_cell
+        self._pool_factory = lambda workers: ProcessPoolExecutor(
+            max_workers=workers)
 
     # ------------------------------------------------------------ workloads
 
@@ -193,50 +339,281 @@ class ExperimentRunner:
 
     def run_suite(self, benchmarks: Iterable[str],
                   configs: Iterable[ProcessorConfig],
-                  jobs: Optional[int] = None
+                  jobs: Optional[int] = None,
+                  cell_timeout: Optional[float] = None,
+                  max_retries: Optional[int] = None
                   ) -> Dict[Tuple[str, str], SimResult]:
         """Run the full grid; keys are ``(benchmark, config.name)``.
 
         Cached cells are resolved up front; the remainder is simulated
-        serially (``jobs=1``) or farmed out to a process pool.  The
-        returned grid is identical in all modes.
+        serially (``jobs=1``) or farmed out to a fault-tolerant process
+        pool.  The returned grid is identical in all modes.  Cells that
+        exhaust their retry budget are *omitted* from the returned grid
+        and appear in :attr:`manifest` as structured failure entries
+        (``status`` failed/timeout, ``attempts``, ``error``) -- one
+        crashed or hung worker no longer discards every other cell.
+
+        Duplicate configurations are deduplicated by cache key within
+        the batch (each unique cell simulates once); reusing a
+        ``config.name`` for a *different* parameterisation raises
+        ``ValueError``, since grid keys would silently collide.
         """
         benchmarks = list(benchmarks)
-        configs = list(configs)
+        configs = self._dedup_configs(configs)
         jobs = self.jobs if jobs is None else jobs
+        cell_timeout = self.cell_timeout if cell_timeout is None \
+            else cell_timeout
+        max_retries = self.max_retries if max_retries is None \
+            else max_retries
         results: Dict[Tuple[str, str], SimResult] = {}
-        pending: List[Tuple[str, ProcessorConfig, str]] = []
+        cells: Dict[str, _Cell] = {}
+        order: List[_Cell] = []
         for benchmark in benchmarks:
             for config in configs:
                 key = cache_key(benchmark, self.scale, config)
                 payload = self.cache.load(key) if self.cache else None
                 if payload is not None:
-                    self._record(benchmark, config, payload, key, True)
+                    self._record(benchmark, config, payload, key, True,
+                                 jobs=jobs)
                     results[(benchmark, config.name)] = \
                         self._rehydrate(config, payload)
+                    continue
+                cell = cells.get(key)
+                if cell is None:
+                    cells[key] = cell = _Cell(benchmark, config, key)
+                    order.append(cell)
                 else:
-                    pending.append((benchmark, config, key))
+                    # identical payload under another display name:
+                    # simulate once, record per alias
+                    cell.configs.append(config)
 
-        if len(pending) <= 1 or jobs <= 1:
-            for benchmark, config, key in pending:
-                payload = _simulate_cell(self.program(benchmark),
-                                         self.trace(benchmark), config)
-                results[(benchmark, config.name)] = self._finish(
-                    benchmark, config, key, payload)
+        if not order:
             return results
-
-        # Build every needed golden trace once, in the parent, before the
-        # pool forks, so workers inherit/receive them instead of
-        # re-interpreting the program per cell.
-        tasks = [(self.program(benchmark), self.trace(benchmark), config)
-                 for benchmark, config, _ in pending]
-        with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending))) as pool:
-            for (benchmark, config, key), payload in zip(
-                    pending, pool.map(_simulate_task, tasks)):
-                results[(benchmark, config.name)] = self._finish(
-                    benchmark, config, key, payload)
+        if len(order) <= 1 or jobs <= 1:
+            self._run_cells_serial(order, results, jobs, max_retries)
+            return results
+        self._run_cells_pool(order, results, jobs, cell_timeout,
+                             max_retries)
         return results
+
+    @staticmethod
+    def _dedup_configs(configs: Iterable[ProcessorConfig]
+                       ) -> List[ProcessorConfig]:
+        out: List[ProcessorConfig] = []
+        seen: Dict[str, dict] = {}
+        for config in configs:
+            payload = config.to_dict()
+            prior = seen.get(config.name)
+            if prior is None:
+                seen[config.name] = payload
+                out.append(config)
+            elif prior != payload:
+                raise ValueError(
+                    f"duplicate config name {config.name!r} with "
+                    f"differing parameters; grid cells are keyed by "
+                    f"(benchmark, config.name) and would silently "
+                    f"overwrite each other")
+            # else: exact duplicate occurrence -- run once, not twice
+        return out
+
+    # ------------------------------------------------------------ execution
+
+    def _run_cells_serial(self, cells: List[_Cell],
+                          results: Dict[Tuple[str, str], SimResult],
+                          jobs: int, max_retries: int) -> None:
+        """In-process execution with the same retry/failure-record
+        semantics as the pool path (no timeout enforcement: a hang
+        cannot be reclaimed in-process, so cells that already timed out
+        in a worker are recorded as timeouts instead of re-run)."""
+        for cell in cells:
+            if cell.timeouts:
+                self._fail_cell(cell, STATUS_TIMEOUT, jobs)
+                continue
+            program = self.program(cell.benchmark)
+            trace = self.trace(cell.benchmark)
+            while True:
+                cell.attempts += 1
+                try:
+                    payload = self._cell_fn(program, trace, cell.primary)
+                except Exception as exc:  # noqa: BLE001 -- isolate cells
+                    cell.error = f"{type(exc).__name__}: {exc}"
+                    if cell.attempts > max_retries:
+                        self._fail_cell(cell, STATUS_FAILED, jobs)
+                        break
+                    self._sleep_backoff(cell.attempts)
+                else:
+                    self._finish_cell(cell, payload, results, jobs)
+                    break
+
+    def _run_cells_pool(self, cells: List[_Cell],
+                        results: Dict[Tuple[str, str], SimResult],
+                        jobs: int, cell_timeout: Optional[float],
+                        max_retries: int) -> None:
+        """Fault-tolerant ``submit``/``wait`` scheduler over a process
+        pool; degrades to :meth:`_run_cells_serial` when the pool
+        repeatedly fails without progress."""
+        workers = min(jobs, len(cells))
+        # Build every needed golden trace once, in the parent, before
+        # the pool forks, so workers inherit/receive them instead of
+        # re-interpreting the program per cell.
+        for cell in cells:
+            self.program(cell.benchmark)
+            self.trace(cell.benchmark)
+
+        queue: Deque[_Cell] = deque(cells)
+        # Cells re-run strictly solo: crash victims awaiting
+        # attribution and cells between retry attempts.
+        quarantine: Deque[_Cell] = deque()
+        inflight: Dict[object, Tuple[_Cell, Optional[float]]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        rebuilds = 0  # consecutive pool deaths with no completed cell
+
+        def kill_pool() -> None:
+            """Tear down a poisoned pool (hung or crashed workers)."""
+            nonlocal pool
+            if pool is None:
+                return
+            procs = getattr(pool, "_processes", None) or {}
+            for proc in list(procs.values()):
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 -- already dying
+                    pass
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except TypeError:  # Python < 3.9 signature
+                pool.shutdown(wait=False)
+            pool = None
+
+        def recover_inflight() -> None:
+            """The pool died under these cells through no proven fault
+            of their own: refund the charged attempt and reschedule
+            solo so any repeat offender is unambiguous."""
+            for cell, _ in inflight.values():
+                cell.attempts -= 1
+                quarantine.append(cell)
+            inflight.clear()
+
+        def submit_one(cell: _Cell) -> bool:
+            nonlocal rebuilds
+            try:
+                fut = pool.submit(self._cell_fn,
+                                  self._programs[cell.benchmark],
+                                  self._traces[cell.benchmark],
+                                  cell.primary)
+            except Exception:  # noqa: BLE001 -- pool already broken
+                quarantine.appendleft(cell)
+                recover_inflight()
+                kill_pool()
+                rebuilds += 1
+                return False
+            cell.attempts += 1
+            deadline = (time.monotonic() + cell_timeout) \
+                if cell_timeout else None
+            inflight[fut] = (cell, deadline)
+            return True
+
+        def retry_or_fail(cell: _Cell, status: str) -> None:
+            if cell.attempts > max_retries:
+                self._fail_cell(cell, status, jobs)
+            else:
+                self._sleep_backoff(cell.attempts)
+                quarantine.append(cell)
+
+        try:
+            while queue or quarantine or inflight:
+                if pool is None:
+                    if rebuilds > self.max_pool_rebuilds:
+                        raise _PoolUnusable()
+                    try:
+                        pool = self._pool_factory(workers)
+                    except Exception:  # noqa: BLE001 -- env failure
+                        rebuilds += 1
+                        self._sleep_backoff(rebuilds)
+                        continue
+                submitted = True
+                if quarantine:
+                    if not inflight:
+                        submitted = submit_one(quarantine.popleft())
+                else:
+                    while submitted and queue and len(inflight) < workers:
+                        submitted = submit_one(queue.popleft())
+                if not submitted or not inflight:
+                    continue
+
+                timeout = None
+                deadlines = [dl for _, dl in inflight.values()
+                             if dl is not None]
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
+                done, _ = wait(list(inflight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+
+                if not done:
+                    # A deadline elapsed with the worker still running.
+                    now = time.monotonic()
+                    overdue = [fut for fut, (_, dl) in inflight.items()
+                               if dl is not None and now >= dl]
+                    if not overdue:
+                        continue
+                    for fut in overdue:
+                        cell, _ = inflight.pop(fut)
+                        cell.timeouts += 1
+                        cell.error = (f"cell exceeded the "
+                                      f"{cell_timeout:g}s timeout "
+                                      f"(attempt {cell.attempts})")
+                        retry_or_fail(cell, STATUS_TIMEOUT)
+                    # The hung worker cannot be reclaimed: tear the
+                    # pool down and recover the innocent cells.
+                    recover_inflight()
+                    kill_pool()
+                    rebuilds += 1
+                    continue
+
+                crashed: List[_Cell] = []
+                for fut in done:
+                    cell, _ = inflight.pop(fut)
+                    try:
+                        payload = fut.result()
+                    except BrokenProcessPool:
+                        crashed.append(cell)
+                    except Exception as exc:  # noqa: BLE001
+                        cell.error = f"{type(exc).__name__}: {exc}"
+                        retry_or_fail(cell, STATUS_FAILED)
+                    else:
+                        self._finish_cell(cell, payload, results, jobs)
+                        rebuilds = 0
+                if crashed:
+                    if len(crashed) == 1 and not inflight:
+                        # Sole running cell: the crash is its.
+                        cell = crashed[0]
+                        cell.error = _CRASH_ERROR
+                        retry_or_fail(cell, STATUS_FAILED)
+                    else:
+                        # Ambiguous: nobody is charged; every victim
+                        # re-runs solo so a crasher convicts itself.
+                        for cell in crashed:
+                            cell.attempts -= 1
+                            quarantine.append(cell)
+                    recover_inflight()
+                    kill_pool()
+                    rebuilds += 1
+        except _PoolUnusable:
+            remaining = list(queue) + list(quarantine) + \
+                [cell for cell, _ in inflight.values()]
+            inflight.clear()
+            self._run_cells_serial(remaining, results, jobs, max_retries)
+        finally:
+            if pool is not None:
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except TypeError:
+                    pool.shutdown(wait=False)
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        delay = self.retry_backoff * (2 ** (attempt - 1))
+        if delay > 0:
+            time.sleep(min(delay, 4.0))
 
     # ------------------------------------------------------------ manifest
 
@@ -266,16 +643,47 @@ class ExperimentRunner:
 
     @property
     def cache_misses(self) -> int:
-        return sum(1 for entry in self.manifest if not entry["cache_hit"])
+        """Cells that simulated successfully (no cache entry)."""
+        return sum(1 for entry in self.manifest
+                   if not entry["cache_hit"]
+                   and entry["status"] == STATUS_OK)
+
+    @property
+    def failures(self) -> int:
+        """Cells recorded as failed/timed-out (no result produced)."""
+        return sum(1 for entry in self.manifest
+                   if entry["status"] != STATUS_OK)
 
     # ------------------------------------------------------------ internals
 
-    def _finish(self, benchmark: str, config: ProcessorConfig, key: str,
-                payload: dict) -> SimResult:
+    def _finish_cell(self, cell: _Cell, payload: dict,
+                     results: Dict[Tuple[str, str], SimResult],
+                     jobs: int) -> None:
+        """Checkpoint one completed cell immediately: persist to cache,
+        then record/rehydrate every (benchmark, config) alias."""
         if self.cache:
-            self.cache.store(key, payload)
-        self._record(benchmark, config, payload, key, False)
-        return self._rehydrate(config, payload)
+            self.cache.store(cell.key, payload)
+        for config in cell.configs:
+            self._record(cell.benchmark, config, payload, cell.key, False,
+                         jobs=jobs, attempts=max(cell.attempts, 1))
+            results[(cell.benchmark, config.name)] = \
+                self._rehydrate(config, payload)
+
+    def _fail_cell(self, cell: _Cell, status: str, jobs: int) -> None:
+        """Record a structured failure entry for every alias of a cell
+        that exhausted its retry budget."""
+        for config in cell.configs:
+            record = RunRecord.failure(
+                benchmark=cell.benchmark, config_name=config.name,
+                config=config.to_dict(), scale=self.scale, key=cell.key,
+                status=status, attempts=max(cell.attempts, 1),
+                error=cell.error,
+                engine=self._engine_provenance(jobs))
+            self.manifest.append(record.to_dict())
+            if self.verbose:
+                print(f"  {cell.benchmark:<10s} {config.name:<28s} "
+                      f"{status.upper()} after {record.attempts} "
+                      f"attempt(s): {cell.error}")
 
     def _rehydrate(self, config: ProcessorConfig,
                    payload: dict) -> SimResult:
@@ -283,8 +691,13 @@ class ExperimentRunner:
                          payload["cycles"], payload["instructions"],
                          Counters.from_dict(payload["counters"]))
 
+    def _engine_provenance(self, jobs: Optional[int]) -> dict:
+        return {"jobs": self.jobs if jobs is None else jobs,
+                "cache_enabled": self.cache is not None}
+
     def _record(self, benchmark: str, config: ProcessorConfig,
-                payload: dict, key: str, hit: bool) -> None:
+                payload: dict, key: str, hit: bool,
+                jobs: Optional[int] = None, attempts: int = 1) -> None:
         cycles = payload["cycles"]
         instructions = payload["instructions"]
         record = RunRecord(
@@ -299,8 +712,9 @@ class ExperimentRunner:
             counters=dict(payload["counters"]),
             wall_time=payload["wall_time"],
             cache_hit=hit,
-            engine={"jobs": self.jobs,
-                    "cache_enabled": self.cache is not None})
+            engine=self._engine_provenance(jobs),
+            status=STATUS_OK,
+            attempts=attempts)
         entry = record.to_dict()
         self.manifest.append(entry)
         if self.verbose:
@@ -320,8 +734,12 @@ def normalized_ipc(results: Dict[Tuple[str, str], SimResult],
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    values = [v for v in values if v > 0]
-    if not values:
+    """Geometric mean; 0.0 for an empty sequence *or* any non-positive
+    value.  Silently dropping non-positive values would let a failed or
+    zero-IPC cell *inflate* a suite average, so a poisoned input
+    poisons the mean instead."""
+    values = list(values)
+    if not values or any(v <= 0 for v in values):
         return 0.0
     product = 1.0
     for value in values:
@@ -332,7 +750,8 @@ def geometric_mean(values: Iterable[float]) -> float:
 def suite_average(results: Dict[Tuple[str, str], SimResult],
                   benchmarks: Iterable[str], config_name: str,
                   baseline_name: str) -> float:
-    """Geometric mean of normalized IPCs over a benchmark list."""
+    """Geometric mean of normalized IPCs over a benchmark list (0.0 if
+    any cell is missing-equivalent, i.e. normalizes non-positive)."""
     return geometric_mean(
         normalized_ipc(results, benchmark, config_name, baseline_name)
         for benchmark in benchmarks)

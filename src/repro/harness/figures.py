@@ -79,17 +79,24 @@ def manifest_table(runner: ExperimentRunner) -> str:
              f"{'benchmark':<12s}{'config':<30s}{'IPC':>7}  "
              f"{'cycles':>10}  {'wall(s)':>8}  cache"]
     for entry in runner.manifest:
+        if entry["status"] != "ok":
+            origin = (f"{entry['status'].upper()} "
+                      f"(x{entry['attempts']})")
+        else:
+            origin = "hit" if entry["cache_hit"] else "miss"
         lines.append(
             f"{entry['benchmark']:<12s}{entry['config_name']:<30s}"
             f"{entry['ipc']:>7.3f}  {entry['cycles']:>10d}  "
-            f"{entry['wall_time']:>8.2f}  "
-            f"{'hit' if entry['cache_hit'] else 'miss'}")
+            f"{entry['wall_time']:>8.2f}  {origin}")
     simulated = sum(e["wall_time"] for e in runner.manifest
                     if not e["cache_hit"])
-    lines.append(f"{len(runner.manifest)} cells: "
-                 f"{runner.cache_hits} cache hits, "
-                 f"{runner.cache_misses} simulated "
-                 f"({simulated:.2f}s simulation time)")
+    summary = (f"{len(runner.manifest)} cells: "
+               f"{runner.cache_hits} cache hits, "
+               f"{runner.cache_misses} simulated "
+               f"({simulated:.2f}s simulation time)")
+    if runner.failures:
+        summary += f", {runner.failures} failed"
+    lines.append(summary)
     return "\n".join(lines)
 
 

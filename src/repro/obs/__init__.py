@@ -23,6 +23,9 @@ from .metrics import (
 )
 from .runrecord import (
     KIND_RUN,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
     RunRecord,
     SCHEMA_VERSION,
     SchemaError,
@@ -41,6 +44,9 @@ __all__ = [
     "RATE",
     "RunRecord",
     "SCHEMA_VERSION",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
     "SchemaError",
     "UnknownMetricError",
     "declare_metric",

@@ -27,7 +27,10 @@ import json
 from typing import Dict, List, Optional
 
 #: Bump on any incompatible change to the record shape (see module doc).
-SCHEMA_VERSION = 1
+#: v2 added the fault-tolerance fields ``status``/``attempts``/``error``
+#: so the experiment engine can record failed and timed-out grid cells
+#: structurally instead of raising away the whole sweep.
+SCHEMA_VERSION = 2
 
 #: ``kind`` discriminator for a single-cell record.  Multi-run CLI
 #: envelopes (compare/figure/bench/list) carry their own kinds but share
@@ -38,6 +41,14 @@ KIND_RUN = "run"
 #: (:meth:`repro.verify.fuzzer.FuzzReport.to_dict`); same
 #: ``schema_version`` field as every other envelope.
 KIND_FUZZ = "fuzz"
+
+#: ``status`` values: a cell that simulated successfully, one whose
+#: worker kept failing (exception or crash) past the retry budget, and
+#: one that exceeded the per-cell wall-clock timeout.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+VALID_STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT)
 
 
 class SchemaError(ValueError):
@@ -60,6 +71,9 @@ _FIELDS = {
     "wall_time": (int, float),
     "cache_hit": bool,
     "engine": dict,
+    "status": str,
+    "attempts": int,
+    "error": str,
 }
 
 
@@ -82,6 +96,9 @@ def validate_record(payload: dict) -> None:
                 f"record field {field!r} has type "
                 f"{type(payload[field]).__name__}, expected "
                 f"{types if isinstance(types, type) else types[0].__name__}")
+    if payload["status"] not in VALID_STATUSES:
+        raise SchemaError(f"record status {payload['status']!r} must be "
+                          f"one of {VALID_STATUSES}")
     for name, value in payload["counters"].items():
         if not isinstance(name, str) or \
                 not isinstance(value, (int, float)):
@@ -94,13 +111,14 @@ class RunRecord:
 
     __slots__ = ("benchmark", "config_name", "config", "scale", "key",
                  "cycles", "instructions", "ipc", "counters", "wall_time",
-                 "cache_hit", "engine")
+                 "cache_hit", "engine", "status", "attempts", "error")
 
     def __init__(self, benchmark: str, config_name: str, config: dict,
                  scale: int, key: str, cycles: int, instructions: int,
                  ipc: float, counters: Dict[str, float],
                  wall_time: float = 0.0, cache_hit: bool = False,
-                 engine: Optional[dict] = None):
+                 engine: Optional[dict] = None, status: str = STATUS_OK,
+                 attempts: int = 1, error: str = ""):
         self.benchmark = benchmark
         self.config_name = config_name
         self.config = config
@@ -113,6 +131,9 @@ class RunRecord:
         self.wall_time = wall_time
         self.cache_hit = cache_hit
         self.engine = engine if engine is not None else {}
+        self.status = status
+        self.attempts = attempts
+        self.error = error
 
     # -- alternate constructors ------------------------------------------------
 
@@ -129,7 +150,10 @@ class RunRecord:
                    counters=dict(payload["counters"]),
                    wall_time=payload["wall_time"],
                    cache_hit=payload["cache_hit"],
-                   engine=dict(payload["engine"]))
+                   engine=dict(payload["engine"]),
+                   status=payload["status"],
+                   attempts=payload["attempts"],
+                   error=payload["error"])
 
     @classmethod
     def from_sim_result(cls, result, benchmark: Optional[str] = None,
@@ -144,7 +168,25 @@ class RunRecord:
                    ipc=result.ipc, counters=result.counters.as_dict(),
                    wall_time=wall_time, cache_hit=False, engine={})
 
+    @classmethod
+    def failure(cls, benchmark: str, config_name: str, config: dict,
+                scale: int, key: str, status: str, attempts: int,
+                error: str, wall_time: float = 0.0,
+                engine: Optional[dict] = None) -> "RunRecord":
+        """A structured failure entry for a cell that never produced a
+        result (worker crash, persistent exception, or timeout)."""
+        return cls(benchmark=benchmark, config_name=config_name,
+                   config=config, scale=scale, key=key, cycles=0,
+                   instructions=0, ipc=0.0, counters={},
+                   wall_time=wall_time, cache_hit=False, engine=engine,
+                   status=status, attempts=attempts, error=error)
+
     # -- views -----------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True iff the cell simulated successfully."""
+        return self.status == STATUS_OK
 
     @property
     def metrics(self) -> Dict[str, float]:
@@ -179,6 +221,9 @@ class RunRecord:
             "wall_time": self.wall_time,
             "cache_hit": self.cache_hit,
             "engine": self.engine,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -189,6 +234,9 @@ class RunRecord:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
     def __repr__(self) -> str:
+        if self.status != STATUS_OK:
+            return (f"RunRecord({self.benchmark} on {self.config_name}: "
+                    f"{self.status} after {self.attempts} attempt(s))")
         return (f"RunRecord({self.benchmark} on {self.config_name}: "
                 f"IPC={self.ipc:.3f}, schema v{SCHEMA_VERSION})")
 

@@ -188,6 +188,56 @@ class TestErrorPaths:
         assert "--corpus" in capsys.readouterr().err
 
 
+class TestSuiteCommand:
+    """``repro suite``: the fault-tolerant, resumable grid runner."""
+
+    SUITE = ["suite", "--benchmarks", "gap", "crafty",
+             "--configs", "baseline-lsq", "baseline-sfc-mdt",
+             "--scale", "1200", "--jobs", "1"]
+
+    def args(self, tmp_path, *extra):
+        return self.SUITE + ["--cache-dir", str(tmp_path / "cache"),
+                             "--manifest",
+                             str(tmp_path / "m.json")] + list(extra)
+
+    def test_suite_writes_valid_manifest(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out and "failed: 0" in out
+        entries = json.loads((tmp_path / "m.json").read_text())
+        assert len(entries) == 4
+        for entry in entries:
+            record = RunRecord.from_dict(entry)  # validates schema
+            assert record.ok
+            assert entry["engine"]["jobs"] == 1
+
+    def test_rerun_without_resume_refused(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self.args(tmp_path)) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_restores_from_cache(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self.args(tmp_path, "--resume")) == 0
+        out = capsys.readouterr().out
+        assert "4 from cache, 0 simulated" in out
+
+    def test_resume_rejects_no_cache(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, "--resume", "--no-cache")) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_suite_json_envelope(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, "--format", "json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "suite"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["cells"] == 4
+        assert payload["failures"] == 0
+        assert len(payload["runs"]) == 4
+
+
 class TestFuzzCli:
     def test_clean_campaign_exits_zero(self, capsys):
         assert main(["fuzz", "--iterations", "5", "--seed", "0"]) == 0

@@ -4,6 +4,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -115,6 +116,48 @@ class TestResultCache:
         cache.store("k" * 64, payload)
         assert cache.load("k" * 64) == payload
 
+    def test_temp_names_are_collision_proof(self, tmp_path, monkeypatch):
+        """Two stores of one key from one pid must never share a temp
+        name (pid-only suffixes collide across hosts sharing a cache
+        directory over NFS)."""
+        cache = ResultCache(tmp_path)
+        seen = []
+        original = Path.replace
+
+        def spy(self, target):
+            seen.append(self.name)
+            return original(self, target)
+
+        monkeypatch.setattr(Path, "replace", spy)
+        cache.store("k" * 64, {"format": 1})
+        cache.store("k" * 64, {"format": 1})
+        assert len(seen) == 2 and seen[0] != seen[1]
+        assert all(f".tmp.{os.getpid()}." in name for name in seen)
+
+    def test_stale_temps_swept_on_open(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        stale = tmp_path / ("a" * 64 + ".json.tmp.999.deadbeef")
+        stale.write_text("{")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = tmp_path / ("b" * 64 + ".json.tmp.999.cafef00d")
+        fresh.write_text("{")
+        ResultCache(tmp_path)
+        assert not stale.exists(), "hour-old orphan temp must be swept"
+        assert fresh.exists(), "a concurrent writer's temp must survive"
+
+    def test_gc_drops_unreadable_and_foreign_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("good", {"format": 1, "cycles": 7})
+        cache.store("old", {"format": -1})
+        cache.path("corrupt").write_text("{not json")
+        (tmp_path / "x.json.tmp.1.ff").write_text("")
+        removed = cache.gc()
+        assert removed == 3
+        assert cache.load("good") == {"format": 1, "cycles": 7}
+        assert not cache.path("old").exists()
+        assert not cache.path("corrupt").exists()
+
     def test_missing_entry_is_none(self, tmp_path):
         assert ResultCache(tmp_path).load("nope") is None
 
@@ -176,6 +219,99 @@ class TestEngineGrids:
     def test_jobs_default_comes_from_cpu_count(self):
         assert ExperimentRunner(scale=SCALE).jobs == (os.cpu_count() or 1)
         assert ExperimentRunner(scale=SCALE, jobs=3).jobs == 3
+
+    def test_parallel_serial_cached_manifests_equivalent(self, tmp_path):
+        """jobs=1, jobs=N, and a warm-cache rerun must agree on every
+        architected field of every manifest entry (wall_time and
+        cache-provenance fields excepted)."""
+        def normalized(runner):
+            entries = []
+            for entry in sorted(runner.manifest,
+                                key=lambda e: (e["benchmark"],
+                                               e["config_name"])):
+                entry = dict(entry)
+                for volatile in ("wall_time", "engine", "cache_hit"):
+                    entry.pop(volatile)
+                entries.append(entry)
+            return entries
+
+        serial = ExperimentRunner(scale=SCALE, use_cache=False)
+        parallel = ExperimentRunner(scale=SCALE, use_cache=False)
+        cold = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        a = serial.run_suite(BENCHMARKS, configs(), jobs=1)
+        b = parallel.run_suite(BENCHMARKS, configs(), jobs=4)
+        cold.run_suite(BENCHMARKS, configs(), jobs=2)
+        warm = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        c = warm.run_suite(BENCHMARKS, configs(), jobs=2)
+        assert grid_snapshot(a) == grid_snapshot(b) == grid_snapshot(c)
+        assert normalized(serial) == normalized(parallel) == \
+            normalized(warm)
+        assert all(e["status"] == "ok" for e in serial.manifest)
+
+
+class TestBatchDedup:
+    def test_identical_duplicate_configs_simulate_once(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, use_cache=False)
+        calls = []
+        original = runner._cell_fn
+
+        def counting(program, trace, config):
+            calls.append(config.name)
+            return original(program, trace, config)
+
+        runner._cell_fn = counting
+        results = runner.run_suite(
+            ["gap"], [baseline_lsq_config(), baseline_lsq_config()],
+            jobs=1)
+        assert len(results) == 1
+        assert len(calls) == 1
+        assert len(runner.manifest) == 1
+
+    def test_same_payload_different_names_share_one_simulation(self):
+        runner = ExperimentRunner(scale=SCALE, use_cache=False)
+        calls = []
+        original = runner._cell_fn
+
+        def counting(program, trace, config):
+            calls.append(config.name)
+            return original(program, trace, config)
+
+        runner._cell_fn = counting
+        results = runner.run_suite(
+            ["gap"], [baseline_lsq_config(name="alpha"),
+                      baseline_lsq_config(name="beta")], jobs=1)
+        assert len(calls) == 1, "one cache key must simulate once"
+        assert set(results) == {("gap", "alpha"), ("gap", "beta")}
+        assert results[("gap", "alpha")].cycles == \
+            results[("gap", "beta")].cycles
+        names = [e["config_name"] for e in runner.manifest]
+        assert sorted(names) == ["alpha", "beta"]
+
+    def test_duplicate_name_with_different_payload_raises(self):
+        runner = ExperimentRunner(scale=SCALE, use_cache=False)
+        changed = baseline_lsq_config()
+        changed.rob_size = 64
+        with pytest.raises(ValueError, match="duplicate config name"):
+            runner.run_suite(["gap"], [baseline_lsq_config(), changed])
+
+
+class TestEngineProvenance:
+    def test_run_suite_records_effective_jobs(self, tmp_path):
+        """run_suite(jobs=...) must be what the manifest reports, not
+        the constructor default."""
+        runner = ExperimentRunner(scale=SCALE, jobs=8, use_cache=False)
+        runner.run_suite(["gap"], [baseline_lsq_config()], jobs=1)
+        assert runner.manifest[-1]["engine"]["jobs"] == 1
+        runner.run_suite(["crafty"], [baseline_lsq_config()], jobs=2)
+        assert runner.manifest[-1]["engine"]["jobs"] == 2
+
+    def test_cache_hit_records_effective_jobs(self, tmp_path):
+        cold = ExperimentRunner(scale=SCALE, jobs=8, cache_dir=tmp_path)
+        cold.run_suite(["gap"], [baseline_lsq_config()], jobs=1)
+        warm = ExperimentRunner(scale=SCALE, jobs=8, cache_dir=tmp_path)
+        warm.run_suite(["gap"], [baseline_lsq_config()], jobs=3)
+        assert warm.manifest[-1]["cache_hit"] is True
+        assert warm.manifest[-1]["engine"]["jobs"] == 3
 
 
 class TestManifest:

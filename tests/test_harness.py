@@ -113,6 +113,14 @@ class TestMath:
         assert geometric_mean([]) == 0.0
         assert geometric_mean([1, 1, 1]) == 1.0
 
+    def test_geometric_mean_nonpositive_is_zero(self):
+        # A zero or negative sample has no geometric mean; returning
+        # 0.0 (not a ValueError from a fractional power of a negative
+        # product) keeps figure averages total rather than crashing.
+        assert geometric_mean([2, 8, 0]) == 0.0
+        assert geometric_mean([2, -1]) == 0.0
+        assert geometric_mean([0.0]) == 0.0
+
     def test_normalized_ipc(self):
         runner = ExperimentRunner(scale=1500)
         configs = [baseline_lsq_config(), baseline_sfc_mdt_config()]

@@ -168,7 +168,8 @@ class TestManifestRecords:
         stripped = []
         for entry in runner.manifest:
             legacy = dict(entry)
-            for added in ("schema_version", "kind", "engine"):
+            for added in ("schema_version", "kind", "engine",
+                          "status", "attempts", "error"):
                 legacy.pop(added)
             stripped.append(legacy)
         assert manifest_digest(stripped) == full
