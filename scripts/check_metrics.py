@@ -35,7 +35,15 @@ def referenced_names():
                 yield path.relative_to(ROOT), lineno, bool(is_f), name
 
 
+#: Multicore runs namespace per-core values as ``core<N>_<base>``; the
+#: base name is what must be declared (the registry resolves the prefix
+#: the same way).  Covers both literal (``core0_``) and f-string
+#: (``core{core_id}_``) spellings.
+CORE_PREFIX = re.compile(r"^core(?:\d+|\{[^}]*\})_")
+
+
 def matches_declared(name: str, is_fstring: bool) -> bool:
+    name = CORE_PREFIX.sub("", name)
     if not is_fstring:
         return name in METRICS
     # An f-string name like f"{level}_misses": treat each interpolation

@@ -1,8 +1,10 @@
 #!/usr/bin/env python
-"""Regenerate the RunRecord golden file pinned by tests/test_obs.py.
+"""Regenerate the RunRecord golden files pinned by tests/test_obs.py.
 
-Run this (from the repository root) only after a deliberate schema
-change, together with a SCHEMA_VERSION bump:
+Two goldens: the single-core v2 record (``runrecord.golden.json``) and
+the multicore v3 record (``runrecord_v3.golden.json``, a deterministic
+2-core litmus run).  Run this (from the repository root) only after a
+deliberate schema change, together with the matching version bump:
 
     python scripts/regen_golden.py
 """
@@ -19,9 +21,11 @@ sys.path.insert(0, str(ROOT))
 from repro import Processor  # noqa: E402
 from repro.harness import baseline_sfc_mdt_config  # noqa: E402
 from repro.obs.runrecord import RunRecord  # noqa: E402
+from repro.verify.litmus_oracle import run_litmus_test  # noqa: E402
 from tests.conftest import assemble, counted_loop_program  # noqa: E402
 
 GOLDEN = ROOT / "tests" / "data" / "runrecord.golden.json"
+GOLDEN_V3 = ROOT / "tests" / "data" / "runrecord_v3.golden.json"
 
 
 def main() -> int:
@@ -31,6 +35,12 @@ def main() -> int:
     GOLDEN.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN.write_text(record.to_json(indent=2) + "\n")
     print(f"wrote {GOLDEN}")
+
+    litmus = run_litmus_test("mp")
+    record_v3 = RunRecord.from_system_result(litmus.system_result,
+                                             benchmark="litmus-mp")
+    GOLDEN_V3.write_text(record_v3.to_json(indent=2) + "\n")
+    print(f"wrote {GOLDEN_V3}")
     return 0
 
 

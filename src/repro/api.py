@@ -7,6 +7,11 @@ objects, so callers no longer import from ``repro.pipeline.processor``
 or ``repro.harness`` internals:
 
 * :func:`simulate` -- one (benchmark, configuration) cell -> RunRecord;
+* :func:`simulate_system` -- one N-core system cell (N-up private-memory
+  replication, or a shared-memory litmus test) -> RunRecord (schema v3);
+* :func:`run_litmus` -- a litmus campaign over the shared-memory
+  machine, every observed outcome judged by the operational-model
+  oracle (:class:`~repro.verify.litmus_oracle.LitmusReport`);
 * :func:`compare` -- one benchmark under several configurations;
 * :func:`run_suite` -- a fault-tolerant (benchmark x configuration)
   grid -> RunRecords, including structured failure entries for cells
@@ -41,10 +46,10 @@ from .harness import configs as config_presets
 from .harness import figures
 from .harness.experiment import DEFAULT_SCALE, ExperimentRunner
 from .obs.runrecord import RunRecord
-from .pipeline.config import ProcessorConfig
+from .pipeline.config import ProcessorConfig, SystemConfig
 from .pipeline.pipetrace import PipeTracer, trace_run
 from .pipeline.processor import Processor
-from .workloads import ALL_BENCHMARKS, suites
+from .workloads import ALL_BENCHMARKS, litmus_benchmark_names, suites
 
 #: Named configuration presets (the CLI exposes exactly these).
 CONFIGS: Dict[str, Callable[[], ProcessorConfig]] = {
@@ -88,6 +93,12 @@ def list_benchmarks() -> List[str]:
     return sorted(ALL_BENCHMARKS)
 
 
+def list_litmus_tests() -> List[str]:
+    """Litmus-test names accepted by :func:`simulate_system` and
+    :func:`run_litmus` (and by ``repro run`` with ``--cores``)."""
+    return litmus_benchmark_names()
+
+
 def list_configs() -> List[str]:
     """Named configuration presets."""
     return sorted(CONFIGS)
@@ -119,6 +130,58 @@ def simulate(benchmark: str, config: ConfigLike = "baseline-sfc-mdt",
     engine = _runner(scale, runner, **runner_kwargs)
     engine.run(benchmark, resolve_config(config))
     return engine.last_record()
+
+
+def simulate_system(benchmark: str,
+                    config: ConfigLike = "baseline-sfc-mdt",
+                    cores: int = 2, memory_mode: Optional[str] = None,
+                    scale: int = DEFAULT_SCALE,
+                    runner: Optional[ExperimentRunner] = None,
+                    **runner_kwargs) -> RunRecord:
+    """Simulate one N-core system cell; returns its :class:`RunRecord`
+    (schema v3 when ``cores > 1``, with per-core counters namespaced as
+    ``core<N>_<name>``).
+
+    ``benchmark`` is a regular suite benchmark -- replicated N-up over
+    private memory with a shared L2 -- or a litmus name
+    (:func:`list_litmus_tests`), which runs its per-thread programs over
+    shared memory.  ``config`` names the *core* recipe; ``memory_mode``
+    defaults to ``shared`` for litmus tests and ``private`` otherwise.
+    ``config`` may also be a ready :class:`SystemConfig`, in which case
+    ``cores``/``memory_mode`` are ignored.
+    """
+    from .workloads.litmus import is_litmus
+
+    if isinstance(config, SystemConfig):
+        system_config = config
+    else:
+        core = resolve_config(config)
+        if memory_mode is None:
+            memory_mode = config_presets.MEMORY_SHARED \
+                if is_litmus(benchmark) else config_presets.MEMORY_PRIVATE
+        system_config = SystemConfig(core=core, cores=cores,
+                                     memory_mode=memory_mode)
+    engine = _runner(scale, runner, **runner_kwargs)
+    return engine.run_system(benchmark, system_config)
+
+
+def run_litmus(tests: Optional[Sequence[str]] = None,
+               configs: Optional[Sequence[ConfigLike]] = None):
+    """Run a litmus campaign on the shared-memory machine; returns a
+    :class:`~repro.verify.litmus_oracle.LitmusReport` whose ``.ok`` is
+    True iff the operational-model oracle accepts every observed
+    outcome.
+
+    ``tests=None`` runs the full shipped suite (MP, SB, LB);
+    ``configs=None`` uses the baseline SFC/MDT core.  Config names are
+    resolved through :func:`resolve_config` (they name the *core*; each
+    test supplies its own core count)."""
+    from .verify import run_litmus_suite
+
+    resolved = None
+    if configs is not None:
+        resolved = [resolve_config(config) for config in configs]
+    return run_litmus_suite(tests=tests, core_configs=resolved)
 
 
 def compare(benchmark: str,
@@ -244,10 +307,13 @@ __all__ = [
     "list_benchmarks",
     "list_configs",
     "list_figures",
+    "list_litmus_tests",
     "replay_corpus",
     "resolve_config",
     "run_figure",
+    "run_litmus",
     "run_suite",
     "simulate",
+    "simulate_system",
     "trace",
 ]

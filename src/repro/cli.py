@@ -8,6 +8,11 @@ Subcommands
     figures.
 ``run BENCHMARK``
     Simulate one benchmark under one configuration and print a report.
+    ``--cores N`` runs an N-core system instead: a regular benchmark is
+    replicated N-up over private memories with a shared L2; a litmus
+    name (``litmus-mp``/``litmus-sb``/``litmus-lb``) runs its threads
+    over shared memory and judges the observed outcome against the
+    operational-model oracle (nonzero exit on a forbidden outcome).
 ``compare BENCHMARK``
     Run one benchmark under several configurations side by side.
 ``figure NAME``
@@ -31,6 +36,10 @@ Subcommands
     ``--seed``); failures are minimized and written to ``--corpus DIR``
     as replayable JSON cases.  ``--replay`` re-checks an existing corpus
     instead of fuzzing.  Exits nonzero on any mismatch.
+``litmus``
+    Run the litmus suite (MP/SB/LB) on the shared-memory multicore
+    machine and check every observed outcome against the
+    operational-model oracle.  Exits nonzero on any forbidden outcome.
 
 Every subcommand takes ``--format text|json`` and ``--out FILE``.  JSON
 output is the versioned results schema (schema_version |SCHEMA|): ``run``
@@ -64,7 +73,8 @@ from .core import registry
 from .harness.experiment import ExperimentRunner
 from .obs.runrecord import SCHEMA_VERSION
 from .stats.report import format_report
-from .workloads import ALL_BENCHMARKS
+from .workloads import ALL_BENCHMARKS, litmus_benchmark_names
+from .workloads.litmus import get_litmus, is_litmus
 
 _DEPRECATED_ATTRS = ("CONFIGS", "FIGURES")
 
@@ -139,11 +149,20 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_output_flags(list_cmd)
 
     run = sub.add_parser("run", help="simulate one benchmark")
-    run.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    run.add_argument("benchmark",
+                     choices=sorted(ALL_BENCHMARKS)
+                     + litmus_benchmark_names())
     run.add_argument("--config", default="baseline-sfc-mdt",
                      choices=sorted(api.CONFIGS))
     run.add_argument("--scale", type=int, default=20_000,
                      help="dynamic instruction budget (default 20000)")
+    run.add_argument("--cores", type=int, default=1, metavar="N",
+                     help="simulate an N-core system (default 1: the "
+                          "plain single-core pipeline)")
+    run.add_argument("--memory-mode", default=None,
+                     choices=("shared", "private"),
+                     help="multicore memory mode (default: shared for "
+                          "litmus tests, private for benchmarks)")
     run.add_argument("--epoch-cycles", type=int, default=None,
                      metavar="N",
                      help="sample a pipetrace epoch snapshot every N "
@@ -254,6 +273,19 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="replay the corpus in --corpus instead of "
                            "generating new programs")
     _add_output_flags(fuzz)
+
+    litmus = sub.add_parser(
+        "litmus", help="run the litmus suite against the "
+                       "operational-model oracle")
+    litmus.add_argument("--tests", nargs="+", default=None,
+                        choices=litmus_benchmark_names(),
+                        help="litmus tests to run (default: all)")
+    litmus.add_argument("--configs", nargs="+",
+                        default=["baseline-sfc-mdt"],
+                        choices=sorted(api.CONFIGS),
+                        help="core presets to run each test on "
+                             "(default baseline-sfc-mdt)")
+    _add_output_flags(litmus)
     return parser
 
 
@@ -261,12 +293,15 @@ def _cmd_list(args) -> int:
     if args.format == "json":
         _emit(_envelope("list",
                         benchmarks=list(ALL_BENCHMARKS),
+                        litmus_tests=litmus_benchmark_names(),
                         subsystems=list(registry.available()),
                         configurations=sorted(api.CONFIGS),
                         figures=sorted(api.FIGURES)), args)
         return 0
     lines = ["benchmarks:"]
     lines += [f"  {name}" for name in ALL_BENCHMARKS]
+    lines.append("\nlitmus tests:")
+    lines += [f"  {name}" for name in litmus_benchmark_names()]
     lines.append("\nsubsystems:")
     lines += [f"  {name}" for name in registry.available()]
     lines.append("\nconfigurations:")
@@ -278,6 +313,10 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if is_litmus(args.benchmark):
+        return _cmd_run_litmus(args)
+    if args.cores > 1:
+        return _cmd_run_multicore(args)
     record = api.simulate(args.benchmark, args.config,
                           runner=_build_runner(args))
     if args.epoch_cycles or args.trace_out:
@@ -296,6 +335,95 @@ def _cmd_run(args) -> int:
     else:
         _emit(format_report(record), args)
     return 0
+
+
+def _require_no_trace_flags(args) -> bool:
+    if args.epoch_cycles or args.trace_out:
+        print("pipetrace export (--epoch-cycles/--trace-out) is "
+              "single-core only; drop --cores", file=sys.stderr)
+        return False
+    return True
+
+
+def _cmd_run_litmus(args) -> int:
+    """``run litmus-* [--cores N]``: one litmus test end-to-end, with
+    the oracle's verdict on the observed outcome."""
+    from .obs.runrecord import RunRecord
+    from .verify import run_litmus_test
+
+    test = get_litmus(args.benchmark)
+    if args.cores not in (1, test.cores):
+        # --cores 1 is the flag's default: take the test's own count.
+        print(f"error: {args.benchmark} has {test.cores} threads and "
+              f"needs --cores {test.cores}", file=sys.stderr)
+        return 2
+    if args.memory_mode == "private":
+        print("error: litmus tests require shared memory",
+              file=sys.stderr)
+        return 2
+    if not _require_no_trace_flags(args):
+        return 2
+    result = run_litmus_test(test, api.resolve_config(args.config))
+    record = RunRecord.from_system_result(result.system_result,
+                                          benchmark=args.benchmark,
+                                          scale=args.scale)
+    if args.format == "json":
+        _emit(_envelope("litmus-run", litmus=result.to_dict(),
+                        run=record.to_dict()), args)
+    else:
+        verdict = "allowed" if result.allowed else "FORBIDDEN"
+        sysres = result.system_result
+        lines = [
+            f"{args.benchmark} on {result.config_name} "
+            f"({test.cores} cores, shared memory)",
+            f"  {test.description}",
+            f"  outcome: {result.outcome} -- {verdict}",
+            f"  model allows: {sorted(result.allowed_outcomes)}",
+            f"  cycles: {sysres.cycles}, instructions: "
+            f"{sysres.instructions}, aggregate IPC: {sysres.ipc:.3f}",
+        ]
+        _emit("\n".join(lines), args)
+    return 0 if result.allowed else 1
+
+
+def _cmd_run_multicore(args) -> int:
+    """``run BENCHMARK --cores N``: an N-up multicore system cell."""
+    if not _require_no_trace_flags(args):
+        return 2
+    record = api.simulate_system(args.benchmark, args.config,
+                                 cores=args.cores,
+                                 memory_mode=args.memory_mode,
+                                 runner=_build_runner(args))
+    if args.format == "json":
+        _emit(record.to_json(indent=2), args)
+        return 0
+    lines = [
+        f"{args.benchmark} x{record.cores} on {record.config_name} "
+        f"(scale {args.scale})",
+        f"  cycles: {record.cycles}, instructions: "
+        f"{record.instructions}, aggregate IPC: {record.ipc:.3f}",
+    ]
+    for core_id in range(record.cores):
+        cycles = record.metric(f"core{core_id}_cycles")
+        insts = record.metric(f"core{core_id}_retired_instructions")
+        ipc = insts / cycles if cycles else 0.0
+        lines.append(f"  core{core_id}: {int(insts)} insts in "
+                     f"{int(cycles)} cycles, IPC {ipc:.3f}")
+    lines.append(f"  shared L2: {int(record.metric('l2_accesses'))} "
+                 f"accesses, miss rate "
+                 f"{record.metric('l2_miss_rate'):.3f}")
+    _emit("\n".join(lines), args)
+    return 0
+
+
+def _cmd_litmus(args) -> int:
+    report = api.run_litmus(tests=args.tests, configs=args.configs)
+    if args.format == "json":
+        _emit(json.dumps(report.to_dict(), sort_keys=True, indent=2),
+              args)
+    else:
+        _emit(report.format(), args)
+    return 0 if report.ok else 1
 
 
 def _cmd_compare(args) -> int:
@@ -456,6 +584,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "litmus":
+            return _cmd_litmus(args)
     except OSError as exc:
         # Malformed --out / --corpus / --trace-out paths and the like
         # should exit with a message, not a traceback.

@@ -8,6 +8,8 @@ from .configs import (
     baseline_lsq_config,
     baseline_sfc_mdt_config,
     fuzz_config_matrix,
+    litmus_system_config,
+    multicore_system_config,
 )
 
 __all__ = [
@@ -18,4 +20,6 @@ __all__ = [
     "baseline_lsq_config",
     "baseline_sfc_mdt_config",
     "fuzz_config_matrix",
+    "litmus_system_config",
+    "multicore_system_config",
 ]

@@ -78,10 +78,11 @@ from ..obs.runrecord import (
     STATUS_TIMEOUT,
     RunRecord,
 )
-from ..pipeline.config import ProcessorConfig
+from ..pipeline.config import ProcessorConfig, SystemConfig
 from ..pipeline.processor import Processor, SimResult
+from ..pipeline.system import System
 from ..stats.counters import Counters
-from ..workloads import suites
+from ..workloads import litmus, suites
 
 #: Default dynamic instruction budget per benchmark run.  Small enough for
 #: a pure-Python cycle-level simulator, large enough for the rates the
@@ -116,13 +117,17 @@ STALE_TEMP_SECONDS = 3600.0
 _CRASH_ERROR = "worker process crashed (BrokenProcessPool)"
 
 
-def cache_key(benchmark: str, scale: int, config: ProcessorConfig) -> str:
+def cache_key(benchmark: str, scale: int, config) -> str:
     """Content hash identifying one grid cell.
 
     The hash covers the benchmark name, the scale, the cache format
     version, and the full canonical config dict *except* ``name``:
     the name is a display label, so two differently named but otherwise
-    identical configurations share one cache entry.
+    identical configurations share one cache entry.  ``config`` is a
+    :class:`~repro.pipeline.config.CoreConfig` for single-core cells or
+    a :class:`~repro.pipeline.config.SystemConfig` for multicore ones
+    (whose dict nests the core config, so the two namespaces can never
+    collide).
     """
     payload = config.to_dict()
     payload.pop("name", None)
@@ -242,6 +247,21 @@ def _simulate_cell(program: Program, trace: List[RetireRecord],
     }
 
 
+def _simulate_system_cell(programs, traces, config: SystemConfig) -> dict:
+    """Simulate one N-core system cell; returns the cacheable payload."""
+    started = time.perf_counter()
+    result = System(programs, config, traces=traces).run()
+    return {
+        "format": CACHE_FORMAT,
+        "program_name": result.program_name,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "counters": dict(result.counters),
+        "wall_time": time.perf_counter() - started,
+        "cores": config.cores,
+    }
+
+
 class _Cell:
     """One uncached grid cell: a unique cache key plus every
     (benchmark, config) alias that hashes to it, and its retry state."""
@@ -334,6 +354,43 @@ class ExperimentRunner:
                 self.cache.store(key, payload)
         self._record(benchmark, config, payload, key, hit)
         return self._rehydrate(config, payload)
+
+    def run_system(self, benchmark: str,
+                   config: SystemConfig) -> RunRecord:
+        """Simulate one N-core system cell (serial, in-process) and
+        return its versioned record (schema v3 when ``cores > 1``).
+
+        ``benchmark`` is either a regular suite benchmark -- replicated
+        across every core in ``private`` memory mode for N-up
+        throughput -- or a litmus name (``litmus-mp``, ...), whose
+        per-thread programs run over shared memory.  Cells consult and
+        fill the same persistent result cache as single-core runs (the
+        key hashes the full nested system config)."""
+        key = cache_key(benchmark, self.scale, config)
+        payload = self.cache.load(key) if self.cache else None
+        hit = payload is not None
+        if payload is None:
+            if litmus.is_litmus(benchmark):
+                test = litmus.get_litmus(benchmark)
+                if config.cores != test.cores:
+                    raise ValueError(
+                        f"litmus test {test.name!r} needs exactly "
+                        f"{test.cores} cores, got {config.cores}")
+                if not config.shared_memory:
+                    raise ValueError(
+                        f"litmus test {test.name!r} requires shared "
+                        f"memory mode, got {config.memory_mode!r}")
+                programs = test.programs()
+                traces = None
+            else:
+                programs = [self.program(benchmark)] * config.cores
+                traces = [self.trace(benchmark)] * config.cores
+            payload = _simulate_system_cell(programs, traces, config)
+            if self.cache:
+                self.cache.store(key, payload)
+        self._record(benchmark, config, payload, key, hit,
+                     cores=config.cores)
+        return self.last_record()
 
     # ------------------------------------------------------------ grids
 
@@ -695,9 +752,10 @@ class ExperimentRunner:
         return {"jobs": self.jobs if jobs is None else jobs,
                 "cache_enabled": self.cache is not None}
 
-    def _record(self, benchmark: str, config: ProcessorConfig,
+    def _record(self, benchmark: str, config,
                 payload: dict, key: str, hit: bool,
-                jobs: Optional[int] = None, attempts: int = 1) -> None:
+                jobs: Optional[int] = None, attempts: int = 1,
+                cores: int = 1) -> None:
         cycles = payload["cycles"]
         instructions = payload["instructions"]
         record = RunRecord(
@@ -714,7 +772,8 @@ class ExperimentRunner:
             cache_hit=hit,
             engine=self._engine_provenance(jobs),
             status=STATUS_OK,
-            attempts=attempts)
+            attempts=attempts,
+            cores=cores)
         entry = record.to_dict()
         self.manifest.append(entry)
         if self.verbose:

@@ -33,10 +33,25 @@ class CacheConfig:
 
     def __init__(self, name: str, size_bytes: int, assoc: int,
                  line_bytes: int, hit_latency: int, miss_penalty: int):
+        if not isinstance(assoc, int) or assoc < 1:
+            raise ValueError(
+                f"{name}: assoc must be a positive integer, "
+                f"got {assoc!r}")
+        if not isinstance(line_bytes, int) or line_bytes < 1 or \
+                line_bytes & (line_bytes - 1):
+            raise ValueError(
+                f"{name}: line_bytes must be a power of two, "
+                f"got {line_bytes!r}")
         if size_bytes % (assoc * line_bytes):
             raise ValueError(
                 f"{name}: size {size_bytes} not divisible by "
                 f"assoc*line ({assoc}*{line_bytes})")
+        sets = size_bytes // (assoc * line_bytes)
+        if sets < 1 or sets & (sets - 1):
+            raise ValueError(
+                f"{name}: number of sets must be a positive power of "
+                f"two, computed {sets} sets from size {size_bytes} / "
+                f"(assoc {assoc} * line {line_bytes})")
         self.name = name
         self.size_bytes = size_bytes
         self.assoc = assoc
@@ -109,19 +124,26 @@ class CacheHierarchy:
     cycles, filling lines along the way: an L1 hit costs ``hit_latency``,
     an L1 miss that hits in L2 adds the L1 miss penalty, and an L2 miss
     adds the L2 miss penalty on top.
+
+    ``l2`` may be an already-constructed :class:`Cache` instead of a
+    :class:`CacheConfig`: a :class:`~repro.memory.system.MemorySystem`
+    hands every core's hierarchy the *same* L2 instance, so cross-core
+    L2 sharing (capacity contention, constructive prefetching) is
+    modeled while each core keeps private L1s.
     """
 
-    def __init__(self, l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig):
+    def __init__(self, l1i: CacheConfig, l1d: CacheConfig,
+                 l2: "CacheConfig | Cache"):
         self.l1i = Cache(l1i)
         self.l1d = Cache(l1d)
-        self.l2 = Cache(l2)
+        self.l2 = l2 if isinstance(l2, Cache) else Cache(l2)
         # Latency constants folded once; the per-access paths below are on
         # the simulator's critical path (every fetch and every data access).
         self._l1i_hit = l1i.hit_latency
         self._l1i_miss = l1i.hit_latency + l1i.miss_penalty
         self._l1d_hit = l1d.hit_latency
         self._l1d_miss = l1d.hit_latency + l1d.miss_penalty
-        self._l2_penalty = l2.miss_penalty
+        self._l2_penalty = self.l2.config.miss_penalty
 
     def data_latency(self, addr: int) -> int:
         """Latency of a data access (load or store commit) to ``addr``."""
@@ -159,13 +181,25 @@ class CacheHierarchy:
         return out
 
 
+def paper_l1i_config() -> CacheConfig:
+    """The paper's Figure 4 L1 instruction cache geometry."""
+    return CacheConfig("l1i", size_bytes=8 * 1024, assoc=2, line_bytes=128,
+                       hit_latency=1, miss_penalty=10)
+
+
+def paper_l1d_config() -> CacheConfig:
+    """The paper's Figure 4 L1 data cache geometry."""
+    return CacheConfig("l1d", size_bytes=8 * 1024, assoc=4, line_bytes=64,
+                       hit_latency=1, miss_penalty=10)
+
+
+def paper_l2_config() -> CacheConfig:
+    """The paper's Figure 4 unified L2 geometry."""
+    return CacheConfig("l2", size_bytes=512 * 1024, assoc=8, line_bytes=128,
+                       hit_latency=1, miss_penalty=100)
+
+
 def paper_hierarchy() -> CacheHierarchy:
     """The exact cache geometry of the paper's Figure 4."""
-    return CacheHierarchy(
-        l1i=CacheConfig("l1i", size_bytes=8 * 1024, assoc=2, line_bytes=128,
-                        hit_latency=1, miss_penalty=10),
-        l1d=CacheConfig("l1d", size_bytes=8 * 1024, assoc=4, line_bytes=64,
-                        hit_latency=1, miss_penalty=10),
-        l2=CacheConfig("l2", size_bytes=512 * 1024, assoc=8, line_bytes=128,
-                       hit_latency=1, miss_penalty=100),
-    )
+    return CacheHierarchy(l1i=paper_l1i_config(), l1d=paper_l1d_config(),
+                          l2=paper_l2_config())

@@ -1,0 +1,92 @@
+"""Shared memory system for N-core simulation.
+
+One :class:`MemorySystem` owns what the cores share and hands out what
+they keep private:
+
+* a **shared architectural image** (:class:`~repro.memory.main_memory.
+  MainMemory`) -- the coherence point.  Stores become globally visible
+  when they *retire* (the pipeline writes the image at retirement, as it
+  always has), so any core's subsequently *executing* load observes
+  them.  Loads execute speculatively and out of order against the image
+  with no cross-core snooping, which is exactly what makes weak-memory
+  outcomes (store buffering, load reordering) observable and what the
+  litmus oracle (:mod:`repro.verify.litmus_oracle`) models;
+* a **shared L2** timing cache -- one :class:`~repro.memory.cache.Cache`
+  instance threaded into every core's hierarchy, so cores contend for
+  (and constructively share) L2 capacity;
+* **private L1 hierarchies** -- each core gets its own L1I/L1D over the
+  shared L2, in the paper's Figure 4 geometry.
+
+In ``private`` mode (see :class:`~repro.pipeline.config.SystemConfig`)
+each core additionally owns a private architectural image, so regular
+single-threaded benchmarks can run N-up with full golden-trace
+validation while still sharing L2 timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cache import (
+    Cache,
+    CacheHierarchy,
+    paper_l1d_config,
+    paper_l1i_config,
+    paper_l2_config,
+)
+from .main_memory import MainMemory
+
+
+class MemorySystem:
+    """The shared half of an N-core machine: one architectural image (or
+    one per core in ``private`` mode), one L2, and per-core L1s."""
+
+    def __init__(self, cores: int, shared: bool = True):
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores!r}")
+        self.num_cores = cores
+        self.shared = shared
+        #: The shared architectural image (the coherence point).  In
+        #: private mode it still exists but no core is bound to it.
+        self.shared_memory = MainMemory()
+        self._private_memories: List[Optional[MainMemory]] = \
+            [None] * cores
+        self.l2 = Cache(paper_l2_config())
+        self._hierarchies = [
+            CacheHierarchy(l1i=paper_l1i_config(), l1d=paper_l1d_config(),
+                           l2=self.l2)
+            for _ in range(cores)
+        ]
+
+    # ------------------------------------------------------------ per-core views
+
+    def hierarchy(self, core_id: int) -> CacheHierarchy:
+        """Core ``core_id``'s cache hierarchy (private L1s, shared L2)."""
+        return self._hierarchies[core_id]
+
+    def memory(self, core_id: int) -> MainMemory:
+        """The architectural image core ``core_id`` executes against."""
+        if self.shared:
+            return self.shared_memory
+        image = self._private_memories[core_id]
+        if image is None:
+            image = self._private_memories[core_id] = MainMemory()
+        return image
+
+    def load_segments(self, core_id: int, segments: Dict[int, bytes]
+                      ) -> None:
+        """Initialise core ``core_id``'s image from a program's data
+        segments (the shared image, in shared mode)."""
+        self.memory(core_id).load_segments(segments)
+
+    # ------------------------------------------------------------ statistics
+
+    def stats(self) -> Dict[str, float]:
+        """Shared-level cache statistics (the L2 every core flows
+        through).  Per-core L1 statistics come out of each core's
+        hierarchy via :meth:`~repro.pipeline.core.Core.finalize`."""
+        return {
+            "l2_accesses": self.l2.accesses,
+            "l2_misses": self.l2.misses,
+            "l2_miss_rate": self.l2.miss_rate,
+        }

@@ -22,12 +22,15 @@ from .metrics import (
     declare_metric,
 )
 from .runrecord import (
+    KIND_FUZZ,
+    KIND_LITMUS,
     KIND_RUN,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_TIMEOUT,
     RunRecord,
     SCHEMA_VERSION,
+    SCHEMA_VERSION_MULTICORE,
     SchemaError,
     records_from_manifest,
     validate_record,
@@ -37,6 +40,8 @@ __all__ = [
     "COUNTER",
     "GAUGE",
     "HISTOGRAM",
+    "KIND_FUZZ",
+    "KIND_LITMUS",
     "KIND_RUN",
     "METRICS",
     "Metric",
@@ -44,6 +49,7 @@ __all__ = [
     "RATE",
     "RunRecord",
     "SCHEMA_VERSION",
+    "SCHEMA_VERSION_MULTICORE",
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_TIMEOUT",

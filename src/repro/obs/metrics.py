@@ -22,7 +22,14 @@ nothing, costs nothing per event, and cannot perturb simulation results
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Iterator, List, Optional
+
+#: Multicore runs namespace per-core values as ``core<N>_<name>`` (see
+#: :meth:`repro.pipeline.system.System.finalize`); the registry resolves
+#: such names to the base declaration -- the metadata is identical for
+#: every core.
+CORE_PREFIX = re.compile(r"^core\d+_")
 
 #: Metric kinds.
 COUNTER = "counter"      #: monotonically increasing event count
@@ -76,6 +83,10 @@ class MetricRegistry:
 
     def declare(self, name: str, kind: str = COUNTER, subsystem: str = "",
                 description: str = "", unit: str = "events") -> Metric:
+        if CORE_PREFIX.match(name):
+            raise ValueError(
+                f"metric {name!r} collides with the reserved per-core "
+                f"namespace 'core<N>_'; declare the base name instead")
         metric = Metric(name, kind, subsystem, description, unit)
         existing = self._metrics.get(name)
         if existing is not None:
@@ -84,13 +95,19 @@ class MetricRegistry:
                 raise ValueError(
                     f"metric {name!r} already declared by "
                     f"{existing.subsystem!r} as {existing.kind}"
-                    f"/{existing.unit!r}")
+                    f"/{existing.unit!r}, redeclared as {metric.kind}"
+                    f"/{metric.unit!r} by {metric.subsystem!r}")
             return existing
         self._metrics[name] = metric
         return metric
 
+    @staticmethod
+    def base_name(name: str) -> str:
+        """Strip the per-core ``core<N>_`` namespace, if present."""
+        return CORE_PREFIX.sub("", name, count=1)
+
     def get(self, name: str) -> Metric:
-        metric = self._metrics.get(name)
+        metric = self.lookup(name)
         if metric is None:
             raise UnknownMetricError(
                 f"counter {name!r} is not declared in the metric "
@@ -98,10 +115,13 @@ class MetricRegistry:
         return metric
 
     def lookup(self, name: str) -> Optional[Metric]:
-        return self._metrics.get(name)
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics.get(self.base_name(name))
+        return metric
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        return self.lookup(name) is not None
 
     def __iter__(self) -> Iterator[Metric]:
         return iter(self._metrics.values())

@@ -32,6 +32,13 @@ from typing import Dict, List, Optional
 #: structurally instead of raising away the whole sweep.
 SCHEMA_VERSION = 2
 
+#: Multicore records (``cores > 1``) serialize under this version: they
+#: add the required ``cores`` field and namespace per-core metric values
+#: as ``core<N>_<name>`` in ``counters``.  Single-core records keep
+#: emitting v2 byte-for-byte, so existing dumps, goldens, and the
+#: manifest digest are untouched.
+SCHEMA_VERSION_MULTICORE = 3
+
 #: ``kind`` discriminator for a single-cell record.  Multi-run CLI
 #: envelopes (compare/figure/bench/list) carry their own kinds but share
 #: the ``schema_version`` field.
@@ -41,6 +48,10 @@ KIND_RUN = "run"
 #: (:meth:`repro.verify.fuzzer.FuzzReport.to_dict`); same
 #: ``schema_version`` field as every other envelope.
 KIND_FUZZ = "fuzz"
+
+#: ``kind`` discriminator for a litmus campaign summary
+#: (:meth:`repro.verify.litmus_oracle.LitmusReport.to_dict`).
+KIND_LITMUS = "litmus"
 
 #: ``status`` values: a cell that simulated successfully, one whose
 #: worker kept failing (exception or crash) past the retry budget, and
@@ -83,10 +94,22 @@ def validate_record(payload: dict) -> None:
         raise SchemaError(f"record payload must be a dict, "
                           f"got {type(payload).__name__}")
     version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in (SCHEMA_VERSION, SCHEMA_VERSION_MULTICORE):
         raise SchemaError(
             f"unsupported schema_version {version!r} "
-            f"(this build reads version {SCHEMA_VERSION})")
+            f"(this build reads versions {SCHEMA_VERSION} and "
+            f"{SCHEMA_VERSION_MULTICORE})")
+    if version == SCHEMA_VERSION_MULTICORE:
+        cores = payload.get("cores")
+        if not isinstance(cores, int) or isinstance(cores, bool) \
+                or cores < 1:
+            raise SchemaError(
+                f"v{SCHEMA_VERSION_MULTICORE} record field 'cores' must "
+                f"be a positive int, got {cores!r}")
+    elif "cores" in payload:
+        raise SchemaError(
+            f"v{SCHEMA_VERSION} records must not carry a 'cores' field "
+            f"(multicore records are v{SCHEMA_VERSION_MULTICORE})")
     for field, types in _FIELDS.items():
         if field not in payload:
             raise SchemaError(f"record is missing required field "
@@ -111,14 +134,15 @@ class RunRecord:
 
     __slots__ = ("benchmark", "config_name", "config", "scale", "key",
                  "cycles", "instructions", "ipc", "counters", "wall_time",
-                 "cache_hit", "engine", "status", "attempts", "error")
+                 "cache_hit", "engine", "status", "attempts", "error",
+                 "cores")
 
     def __init__(self, benchmark: str, config_name: str, config: dict,
                  scale: int, key: str, cycles: int, instructions: int,
                  ipc: float, counters: Dict[str, float],
                  wall_time: float = 0.0, cache_hit: bool = False,
                  engine: Optional[dict] = None, status: str = STATUS_OK,
-                 attempts: int = 1, error: str = ""):
+                 attempts: int = 1, error: str = "", cores: int = 1):
         self.benchmark = benchmark
         self.config_name = config_name
         self.config = config
@@ -134,6 +158,7 @@ class RunRecord:
         self.status = status
         self.attempts = attempts
         self.error = error
+        self.cores = cores
 
     # -- alternate constructors ------------------------------------------------
 
@@ -153,7 +178,8 @@ class RunRecord:
                    engine=dict(payload["engine"]),
                    status=payload["status"],
                    attempts=payload["attempts"],
-                   error=payload["error"])
+                   error=payload["error"],
+                   cores=payload.get("cores", 1))
 
     @classmethod
     def from_sim_result(cls, result, benchmark: Optional[str] = None,
@@ -167,6 +193,20 @@ class RunRecord:
                    cycles=result.cycles, instructions=result.instructions,
                    ipc=result.ipc, counters=result.counters.as_dict(),
                    wall_time=wall_time, cache_hit=False, engine={})
+
+    @classmethod
+    def from_system_result(cls, result, benchmark: Optional[str] = None,
+                           scale: int = 0, wall_time: float = 0.0,
+                           key: str = "") -> "RunRecord":
+        """Wrap an N-core :class:`~repro.pipeline.system.SystemResult`
+        (serializes as schema v3 when ``cores > 1``)."""
+        return cls(benchmark=benchmark or result.program_name,
+                   config_name=result.config.name,
+                   config=result.config.to_dict(), scale=scale, key=key,
+                   cycles=result.cycles, instructions=result.instructions,
+                   ipc=result.ipc, counters=dict(result.counters),
+                   wall_time=wall_time, cache_hit=False, engine={},
+                   cores=result.config.cores)
 
     @classmethod
     def failure(cls, benchmark: str, config_name: str, config: dict,
@@ -206,7 +246,7 @@ class RunRecord:
     # -- serialization ---------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema_version": SCHEMA_VERSION,
             "kind": KIND_RUN,
             "benchmark": self.benchmark,
@@ -225,6 +265,12 @@ class RunRecord:
             "attempts": self.attempts,
             "error": self.error,
         }
+        if self.cores > 1:
+            # Multicore is the only v3 shape; single-core records keep
+            # serializing as v2 byte-for-byte (digest/golden stability).
+            payload["schema_version"] = SCHEMA_VERSION_MULTICORE
+            payload["cores"] = self.cores
+        return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """Canonical JSON (sorted keys; compact unless ``indent``)."""
@@ -237,8 +283,10 @@ class RunRecord:
         if self.status != STATUS_OK:
             return (f"RunRecord({self.benchmark} on {self.config_name}: "
                     f"{self.status} after {self.attempts} attempt(s))")
+        version = SCHEMA_VERSION_MULTICORE if self.cores > 1 \
+            else SCHEMA_VERSION
         return (f"RunRecord({self.benchmark} on {self.config_name}: "
-                f"IPC={self.ipc:.3f}, schema v{SCHEMA_VERSION})")
+                f"IPC={self.ipc:.3f}, schema v{version})")
 
 
 def records_from_manifest(manifest: List[dict]) -> List["RunRecord"]:

@@ -1,10 +1,17 @@
-"""Processor configuration.
+"""Core and system configuration.
 
 The two presets mirror the paper's Figure 4: a 4-wide *baseline*
 superscalar with a 128-entry window and an 8-wide *aggressive* superscalar
 with a 1024-entry window, each combinable with either memory subsystem.
 Preset constructors live in :mod:`repro.harness.configs`; this module
-defines the parameter record itself.
+defines the parameter records themselves:
+
+* :class:`CoreConfig` -- every knob of one superscalar core (the record
+  formerly named ``ProcessorConfig``; that name remains as an alias and
+  is what the single-core digest gate serializes);
+* :class:`SystemConfig` -- an N-core system over a shared memory
+  system: a homogeneous :class:`CoreConfig` plus the core count and the
+  memory-sharing mode.
 """
 
 from __future__ import annotations
@@ -25,9 +32,18 @@ SUBSYSTEM_LSQ = "lsq"
 SUBSYSTEM_SFC_MDT = "sfc_mdt"
 SUBSYSTEM_LOAD_REPLAY = "load_replay"
 
+#: :class:`SystemConfig` memory modes.  ``shared``: all cores execute
+#: over one shared architectural image (stores become globally visible
+#: at retirement -- the litmus/weak-memory mode); ``private``: each core
+#: owns a private image but timing flows through a shared L2 (the
+#: throughput mode, which keeps per-core golden-trace validation exact).
+MEMORY_SHARED = "shared"
+MEMORY_PRIVATE = "private"
+MEMORY_MODES = (MEMORY_SHARED, MEMORY_PRIVATE)
 
-class ProcessorConfig:
-    """Every knob of the simulated superscalar."""
+
+class CoreConfig:
+    """Every knob of one simulated superscalar core."""
 
     def __init__(
         self,
@@ -49,6 +65,15 @@ class ProcessorConfig:
         max_cycles: int = 50_000_000,
         name: str = "",
     ):
+        for field, value in (("width", width),
+                             ("fetch_branches_per_cycle",
+                              fetch_branches_per_cycle),
+                             ("rob_size", rob_size),
+                             ("sched_size", sched_size),
+                             ("num_fus", num_fus)):
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    f"{field} must be a positive integer, got {value!r}")
         self.width = width
         self.fetch_branches_per_cycle = fetch_branches_per_cycle
         self.rob_size = rob_size
@@ -87,6 +112,56 @@ class ProcessorConfig:
     def __repr__(self) -> str:
         sub = self.lsq if self.subsystem == SUBSYSTEM_LSQ \
             else (self.sfc, self.mdt)
-        return (f"ProcessorConfig({self.name}: width={self.width}, "
+        return (f"CoreConfig({self.name}: width={self.width}, "
                 f"rob={self.rob_size}, {self.subsystem}={sub!r}, "
                 f"pred={self.predictor.mode})")
+
+
+#: Backwards-compatible alias: the single-core world (presets, the
+#: experiment engine's cache keys, the ``manifest_digest`` gate) built
+#: and serialized ``ProcessorConfig`` objects; the record is unchanged,
+#: only the canonical name moved to :class:`CoreConfig`.
+ProcessorConfig = CoreConfig
+
+
+class SystemConfig:
+    """An N-core system: one homogeneous core recipe plus system knobs.
+
+    ``cores=1`` systems are still legal (useful for differential tests
+    against the plain single-core path), but the single-core pipelines
+    -- presets, engine cache keys, digest gate -- keep using
+    :class:`CoreConfig` directly so their serialized form is untouched.
+    """
+
+    def __init__(self, core: Optional[CoreConfig] = None, cores: int = 2,
+                 memory_mode: str = MEMORY_SHARED, name: str = ""):
+        if not isinstance(cores, int) or cores < 1:
+            raise ValueError(
+                f"cores must be a positive integer, got {cores!r}")
+        if memory_mode not in MEMORY_MODES:
+            raise ValueError(
+                f"unknown memory_mode {memory_mode!r}; choose from "
+                f"{MEMORY_MODES}")
+        self.core = core if core is not None else CoreConfig()
+        self.cores = cores
+        self.memory_mode = memory_mode
+        self.name = name or f"{self.core.name}-x{cores}-{memory_mode}"
+
+    @property
+    def shared_memory(self) -> bool:
+        return self.memory_mode == MEMORY_SHARED
+
+    def to_dict(self) -> dict:
+        """Canonical, JSON-serializable view (same contract as
+        :meth:`CoreConfig.to_dict`; the engine hashes it minus ``name``
+        for multicore cache keys)."""
+        return {
+            "core": self.core.to_dict(),
+            "cores": self.cores,
+            "memory_mode": self.memory_mode,
+            "name": self.name,
+        }
+
+    def __repr__(self) -> str:
+        return (f"SystemConfig({self.name}: {self.cores} x "
+                f"{self.core.name}, memory={self.memory_mode})")

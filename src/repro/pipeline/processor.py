@@ -1,761 +1,30 @@
-"""Cycle-level out-of-order superscalar processor.
+"""Single-core entry point over :mod:`repro.pipeline.core`.
 
-Execution-driven, as in the paper: the pipeline fetches along the
-*predicted* path, so wrong-path loads and stores really execute and touch
-the SFC/MDT (the source of SFC corruptions), and every retired instruction
-is validated against the golden trace of the in-order architectural
-simulator.  Recovery from branch mispredictions and memory-ordering
-violations is a partial pipeline flush: squash everything younger than the
-recovery point, restore the register alias table from the per-instruction
-checkpoint, and redirect fetch.
-
-Stage order within :meth:`Processor.step` (one simulated cycle):
-
-1. complete instructions whose latency expires this cycle (writeback);
-2. retire from the ROB head, validating against the golden trace;
-3. clear scheduler stall bits if the MDT/SFC evicted entries;
-4. select + execute ready instructions (loads/stores consult the memory
-   subsystem here, speculatively and out of order);
-5. fetch/rename/dispatch along the predicted path.
+Historically this module *was* the simulator: a ~760-line monolith that
+privately constructed its branch predictor, memory subsystem, caches,
+and architectural memory.  The machinery now lives in
+:class:`~repro.pipeline.core.Core` (per-core pipeline state with an
+injectable memory image and cache hierarchy) so that
+:class:`~repro.pipeline.system.System` can run N cores over a shared
+:class:`~repro.memory.system.MemorySystem`.  ``Processor`` remains the
+supported single-core construction path -- a ``Core`` with its private
+defaults -- and is bit-exact with the pre-split simulator (the
+``manifest_digest`` gate in ``scripts/check_digest.py`` pins this).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional
-
-from ..branch.gshare import GsharePredictor
-from ..core import registry
-from ..core.predictors import DependenceTagFile, ProducerSetPredictor
-from ..core.subsystem import REPLAY
-from ..isa import instructions as ops
-from ..isa.instructions import MASK64, sign_extend
-from ..isa.interp import RetireRecord, branch_taken, execute_op, run_program
-from ..isa.program import INSTRUCTION_BYTES, Program
-from ..memory.cache import paper_hierarchy
-from ..memory.main_memory import MainMemory
-from ..obs.metrics import COUNTER, GAUGE, declare_metric
-from ..stats.counters import Counters
-from .config import ProcessorConfig
-from .dyninst import DynInst
-from .rename import RenameTable
-from .scheduler import Scheduler
-
-# -- declared metrics (metadata only; see repro.obs.metrics) -----------------
-for _name, _kind, _unit, _desc in (
-    ("dispatched_instructions", COUNTER, "insts",
-     "instructions renamed and dispatched (right and wrong path)"),
-    ("executed_loads", COUNTER, "insts", "loads issued to the memory unit"),
-    ("executed_stores", COUNTER, "insts",
-     "stores issued to the memory unit"),
-    ("retired_loads", COUNTER, "insts", "loads retired from the ROB head"),
-    ("retired_stores", COUNTER, "insts",
-     "stores retired from the ROB head"),
-    ("mem_replays", COUNTER, "events",
-     "memory accesses bounced back to the scheduler for replay"),
-    ("idle_cycles_skipped", COUNTER, "cycles",
-     "guaranteed-idle cycles fast-forwarded by the clock"),
-    ("dispatch_stalls_rob", COUNTER, "slots",
-     "dispatch slots lost to a full ROB"),
-    ("dispatch_stalls_sched", COUNTER, "slots",
-     "dispatch slots lost to a full scheduler window"),
-    ("dispatch_stalls_phys", COUNTER, "slots",
-     "dispatch slots lost to physical-register exhaustion"),
-    ("dispatch_stalls_lq", COUNTER, "slots",
-     "dispatch slots lost to a full load queue"),
-    ("dispatch_stalls_sq", COUNTER, "slots",
-     "dispatch slots lost to a full store queue/FIFO"),
-    ("rob_head_bypass_grants", COUNTER, "events",
-     "ROB-lockup avoidance grants (Section 2.2)"),
-    ("branch_mispredict_flushes", COUNTER, "events",
-     "partial flushes caused by branch mispredictions"),
-    ("violation_flushes_true", COUNTER, "events",
-     "recovery flushes for true (RAW) ordering violations"),
-    ("violation_flushes_anti", COUNTER, "events",
-     "recovery flushes for anti (WAR) ordering violations"),
-    ("violation_flushes_output", COUNTER, "events",
-     "recovery flushes for output (WAW) ordering violations"),
-    ("partial_flushes", COUNTER, "events",
-     "partial pipeline flushes (all causes)"),
-    ("squashed_instructions", COUNTER, "insts",
-     "in-flight instructions squashed by recovery flushes"),
-    ("cycles", GAUGE, "cycles", "total simulated cycles"),
-    ("retired_instructions", GAUGE, "insts",
-     "architecturally retired instructions"),
-    ("branch_predictions", GAUGE, "events",
-     "conditional-branch predictions made"),
-    ("branch_mispredictions", GAUGE, "events",
-     "conditional-branch mispredictions"),
-):
-    declare_metric(_name, kind=_kind, subsystem="pipeline",
-                   description=_desc, unit=_unit)
-
-_USES_RS2 = frozenset(
-    {ops.ADD, ops.SUB, ops.AND, ops.OR, ops.XOR, ops.SLT, ops.SLTU,
-     ops.SLL, ops.SRL, ops.SRA, ops.MUL, ops.DIV, ops.REM,
-     ops.FADD, ops.FSUB, ops.FMUL, ops.FDIV}
-    | ops.BRANCH_OPS | ops.STORE_OPS)
-_NO_RS1 = frozenset({ops.J, ops.JAL, ops.LI, ops.NOP, ops.HALT})
-_HAS_DEST = frozenset(
-    {ops.ADD, ops.SUB, ops.AND, ops.OR, ops.XOR, ops.SLT, ops.SLTU,
-     ops.SLL, ops.SRL, ops.SRA, ops.ADDI, ops.ANDI, ops.ORI, ops.XORI,
-     ops.SLTI, ops.SLLI, ops.SRLI, ops.SRAI, ops.LI, ops.MUL, ops.DIV,
-     ops.REM, ops.FADD, ops.FSUB, ops.FMUL, ops.FDIV, ops.JAL}
-    | ops.LOAD_OPS)
+from .core import Core, SimResult, SimulationError
 
 
-class SimulationError(Exception):
-    """Retired state diverged from the golden trace (simulator bug) or the
-    simulation exceeded its cycle budget."""
+class Processor(Core):
+    """One configured superscalar core bound to one program.
+
+    Exactly a :class:`~repro.pipeline.core.Core` with its single-core
+    defaults: a private :class:`~repro.memory.main_memory.MainMemory`
+    image, the paper's cache hierarchy, golden-trace validation on, and
+    idle-cycle fast-forwarding on.
+    """
 
 
-class SimResult:
-    """Outcome of one simulation run."""
-
-    def __init__(self, program_name: str, config: ProcessorConfig,
-                 cycles: int, instructions: int, counters: Counters):
-        self.program_name = program_name
-        self.config = config
-        self.cycles = cycles
-        self.instructions = instructions
-        self.counters = counters
-
-    @property
-    def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
-
-    def rate(self, numerator: str, denominator: str) -> float:
-        return self.counters.rate(numerator, denominator)
-
-    def to_dict(self) -> dict:
-        """JSON-serializable snapshot (result cache / run manifests)."""
-        return {
-            "program_name": self.program_name,
-            "config": self.config.to_dict(),
-            "cycles": self.cycles,
-            "instructions": self.instructions,
-            "counters": self.counters.as_dict(),
-        }
-
-    def __repr__(self) -> str:
-        return (f"SimResult({self.program_name} on {self.config.name}: "
-                f"IPC={self.ipc:.3f}, {self.instructions} insts, "
-                f"{self.cycles} cycles)")
-
-
-class Processor:
-    """One configured superscalar core bound to one program."""
-
-    def __init__(self, program: Program, config: ProcessorConfig,
-                 trace: Optional[List[RetireRecord]] = None,
-                 max_instructions: int = 1_000_000):
-        self.program = program
-        self.config = config
-        self.trace = trace if trace is not None \
-            else run_program(program, max_instructions)
-        self.counters = Counters()
-        self.memory = MainMemory()
-        self.memory.load_segments(program.data)
-        self.hierarchy = paper_hierarchy()
-        self.subsystem = registry.build(config.subsystem, config,
-                                        self.memory, self.hierarchy,
-                                        self.counters)
-        self.tag_file = DependenceTagFile()
-        self.predictor = ProducerSetPredictor(config.predictor,
-                                              self.counters)
-        self.scheduler = Scheduler(config.sched_size, self.tag_file)
-        self.rename = RenameTable(num_phys=config.rob_size + 64)
-        self.bpred = GsharePredictor(oracle_fix_rate=config.oracle_fix_rate,
-                                     seed=config.branch_seed)
-
-        self.rob: Deque[DynInst] = deque()
-        self._by_seq: Dict[int, DynInst] = {}
-        self._completions: Dict[int, List[DynInst]] = {}
-
-        # Interned counter handles for per-instruction events (a plain
-        # attribute add instead of a string-dict lookup per event); rare
-        # events stay on Counters.incr.
-        counters = self.counters
-        self._c_dispatched = counters.cell("dispatched_instructions")
-        self._c_executed_loads = counters.cell("executed_loads")
-        self._c_executed_stores = counters.cell("executed_stores")
-        self._c_retired_loads = counters.cell("retired_loads")
-        self._c_retired_stores = counters.cell("retired_stores")
-        self._c_mem_replays = counters.cell("mem_replays")
-        self._c_idle_skipped = counters.cell("idle_cycles_skipped")
-        self._c_stall_rob = counters.cell("dispatch_stalls_rob")
-        self._c_stall_sched = counters.cell("dispatch_stalls_sched")
-        self._c_stall_phys = counters.cell("dispatch_stalls_phys")
-
-        self.cycle = 0
-        self.next_seq = 0
-        self.retired = 0
-        self.done = False
-
-        # Fetch state: ``_fetch_trace_index >= 0`` means fetch is on the
-        # architecturally correct path and the next instruction fetched is
-        # ``trace[_fetch_trace_index]``.
-        self._fetch_pc: Optional[int] = 0
-        self._fetch_trace_index = 0
-        self._fetch_stall_until = 0
-        self._fetch_progress = False
-        self._last_evictions = 0
-
-    # ------------------------------------------------------------------ run
-
-    def run(self) -> SimResult:
-        """Simulate until the program's HALT retires."""
-        max_cycles = self.config.max_cycles
-        while not self.done:
-            if self.cycle > max_cycles:
-                raise SimulationError(
-                    f"exceeded {max_cycles} cycles "
-                    f"({self.retired}/{len(self.trace)} retired; "
-                    f"rob head={self.rob[0] if self.rob else None})")
-            self.step()
-        self.counters.set("cycles", self.cycle)
-        self.counters.set("retired_instructions", self.retired)
-        for key, value in self.hierarchy.stats().items():
-            self.counters.set(key, value)
-        self.counters.set("branch_mispredictions",
-                          self.bpred.mispredictions)
-        self.counters.set("branch_predictions", self.bpred.predictions)
-        return SimResult(self.program.name, self.config, self.cycle,
-                         self.retired, self.counters)
-
-    # ------------------------------------------------------------------ cycle
-
-    def step(self) -> None:
-        """Advance one cycle."""
-        cycle = self.cycle
-
-        for inst in self._completions.pop(cycle, ()):
-            self._complete(inst)
-
-        self._retire_stage()
-        if self.done:
-            return
-
-        evictions = self.subsystem.eviction_events
-        if evictions != self._last_evictions:
-            self._last_evictions = evictions
-            self.scheduler.clear_stall_bits()
-
-        self._issue_stage()
-        self._fetch_stage()
-        self._advance_clock()
-
-    def _advance_clock(self) -> None:
-        """Advance to the next cycle, skipping guaranteed-idle spans."""
-        cycle = self.cycle + 1
-        self.cycle = cycle
-        if self.scheduler.has_ready or self._fetch_progress:
-            return
-        rob = self.rob
-        if rob and rob[0].completed:
-            return
-        completions = self._completions
-        target = min(completions) if completions else -1
-        if self._fetch_pc is not None and self._fetch_stall_until > cycle:
-            stall = self._fetch_stall_until
-            if target < 0 or stall < target:
-                target = stall
-        if target > cycle:
-            self._c_idle_skipped.value += target - cycle
-            self.cycle = target
-
-    # ------------------------------------------------------------------ completion
-
-    def _complete(self, inst: DynInst) -> None:
-        if inst.squashed:
-            return
-        inst.completed = True
-        inst.complete_cycle = self.cycle
-        phys = inst.rd_phys
-        if phys is not None:
-            rename = self.rename
-            rename.values[phys] = inst.dest_value or 0
-            rename.ready[phys] = True
-            self.scheduler.on_phys_ready(phys)
-        if inst.produced_tag is not None:
-            # The idealized scheduler only wakes predicted consumers of
-            # accesses that complete successfully (Section 3).
-            self.tag_file.mark_ready(inst.produced_tag)
-            self.scheduler.on_tag_ready(inst.produced_tag)
-
-    def _schedule_completion(self, inst: DynInst, latency: int) -> None:
-        due = self.cycle + (latency if latency > 1 else 1)
-        pending = self._completions.get(due)
-        if pending is None:
-            self._completions[due] = [inst]
-        else:
-            pending.append(inst)
-
-    # ------------------------------------------------------------------ retire
-
-    def _retire_stage(self) -> None:
-        rob = self.rob
-        for _ in range(self.config.width):
-            if not rob:
-                return
-            head = rob[0]
-            if not head.completed:
-                if head.stalled and head.inst.is_mem and \
-                        not head.rob_head_bypass:
-                    # ROB-lockup avoidance (Section 2.2): let the head
-                    # access bypass the MDT/SFC.
-                    head.rob_head_bypass = True
-                    self.counters.incr("rob_head_bypass_grants")
-                    self.scheduler.force_ready(head)
-                return
-            self._retire_one(head)
-            if self.done:
-                return
-
-    def _retire_one(self, head: DynInst) -> None:
-        inst = head.inst
-        if inst.is_load:
-            corrected, violations = self.subsystem.retire_load(
-                head.seq, head.addr or 0, head.size)
-            self._c_retired_loads.value += 1
-            if corrected is not None:
-                # Value-based retirement replay (Cain & Lipasti): the
-                # load consumed stale data; retire it with the corrected
-                # value and flush everything that may have used the old
-                # one.  The physical register becomes architectural state
-                # here, so it must carry the corrected value too.  The
-                # subsystem replays the raw memory bytes; signed loads
-                # need the same extension the execute path applies.
-                if inst.op in (ops.LB, ops.LH, ops.LW):
-                    corrected = sign_extend(corrected, head.size * 8)
-                head.dest_value = corrected
-                if head.rd_phys is not None:
-                    self.rename.write(head.rd_phys, corrected)
-            if violations:
-                self._ordering_violation(head, violations)
-        elif inst.is_store:
-            addr, size, data, violations = self.subsystem.retire_store(
-                head.seq, head.addr or 0, head.size,
-                bypassed=head.rob_head_bypass, pc=head.pc)
-            self.memory.write_int(addr, size, data)
-            self.hierarchy.data_latency(addr)  # commit-port cache traffic
-            self._c_retired_stores.value += 1
-            if violations:
-                # A bypassed store found younger loads that already read
-                # stale data: conservative recovery flush (see
-                # MemoryDisambiguationTable.check_store).
-                self._ordering_violation(head, violations)
-        elif inst.op in ops.BRANCH_OPS:
-            self.bpred.update(head.pc, head.actual_taken,
-                              head.predicted_taken)
-        elif inst.op == ops.JR:
-            self.bpred.update_indirect(head.pc, head.actual_target)
-        # Validation runs after retirement-replay correction so the
-        # value compared against the golden trace is the retiring one.
-        self._validate(head)
-        old_phys = head.old_rd_phys
-        if old_phys is not None:
-            rename = self.rename
-            rename.ready[old_phys] = False
-            rename._free.append(old_phys)
-        if head.produced_tag is not None:
-            self.tag_file.release(head.produced_tag)
-        self.rob.popleft()
-        del self._by_seq[head.seq]
-        self.retired += 1
-        if inst.op == ops.HALT:
-            self.done = True
-
-    def _validate(self, head: DynInst) -> None:
-        """Compare a retiring instruction against the golden trace."""
-        if head.trace_index != self.retired:
-            raise SimulationError(
-                f"retired {head!r} out of order: trace index "
-                f"{head.trace_index} != retire count {self.retired}")
-        record = self.trace[self.retired]
-        if head.pc != record.pc or head.inst.op != record.op:
-            raise SimulationError(
-                f"retired {head!r} does not match trace {record!r}")
-        if record.dest_value is not None and head.inst.rd != 0 and \
-                head.dest_value != record.dest_value:
-            raise SimulationError(
-                f"wrong destination value at {head!r}: "
-                f"{head.dest_value} != {record.dest_value} ({record!r})")
-        if record.store_addr is not None and (
-                head.addr != record.store_addr or
-                head.store_data != record.store_data):
-            raise SimulationError(
-                f"wrong store effect at {head!r}: "
-                f"{head.addr}/{head.store_data} != "
-                f"{record.store_addr}/{record.store_data}")
-        if head.inst.is_control and head.actual_target != record.next_pc:
-            raise SimulationError(
-                f"wrong control target at {head!r}: "
-                f"{head.actual_target:#x} != {record.next_pc:#x}")
-
-    # ------------------------------------------------------------------ issue/execute
-
-    def _issue_stage(self) -> None:
-        scheduler = self.scheduler
-        selected = scheduler.select(self.config.num_fus)
-        cycle = self.cycle
-        for inst in selected:
-            if inst.squashed:
-                continue
-            scheduler.mark_issued(inst)
-            inst.issue_cycle = cycle
-            self._execute(inst)
-
-    def _execute(self, inst: DynInst) -> None:
-        static = inst.inst
-        op = static.op
-        values = self.rename.values
-        a = values[inst.rs1_phys]
-        b = values[inst.rs2_phys]
-
-        if static.is_mem:
-            self._execute_mem(inst, a, b)
-            return
-
-        latency = 1
-        mispredicted = False
-        if static.is_branch:
-            inst.actual_taken = taken = branch_taken(op, a, b)
-            inst.actual_target = static.imm if taken \
-                else (inst.pc + INSTRUCTION_BYTES) & MASK64
-            mispredicted = inst.actual_target != inst.predicted_target
-        elif op == ops.JR:
-            inst.actual_taken = True
-            inst.actual_target = a
-            mispredicted = inst.actual_target != inst.predicted_target
-        elif op in (ops.J, ops.JAL):
-            inst.actual_taken = True
-            inst.actual_target = static.imm
-            if op == ops.JAL:
-                inst.dest_value = (inst.pc + INSTRUCTION_BYTES) & MASK64
-        elif op in (ops.NOP, ops.HALT):
-            pass
-        else:
-            inst.dest_value = execute_op(op, a, b, static.imm)
-            latency = static.latency
-
-        # Inline completion scheduling (the per-instruction common case).
-        due = self.cycle + (latency if latency > 1 else 1)
-        completions = self._completions
-        pending = completions.get(due)
-        if pending is None:
-            completions[due] = [inst]
-        else:
-            pending.append(inst)
-        if mispredicted:
-            self._branch_mispredict(inst)
-
-    def _execute_mem(self, inst: DynInst, a: int, b: int) -> None:
-        static = inst.inst
-        op = static.op
-        addr = (a + static.imm) & MASK64
-        size = ops.ACCESS_SIZE[op]
-        inst.addr = addr
-        inst.size = size
-        watermark = self.rob[0].seq if self.rob else self.next_seq
-        if static.is_load:
-            self._c_executed_loads.value += 1
-            outcome = self.subsystem.execute_load(
-                inst.seq, inst.pc, addr, size, watermark,
-                at_rob_head=inst.rob_head_bypass)
-        else:
-            data = b & ((1 << (8 * size)) - 1)
-            inst.store_data = data
-            self._c_executed_stores.value += 1
-            outcome = self.subsystem.execute_store(
-                inst.seq, inst.pc, addr, size, data, watermark,
-                at_rob_head=inst.rob_head_bypass)
-
-        if outcome.status == REPLAY:
-            self._c_mem_replays.value += 1
-            self.scheduler.replay(inst)
-            return
-
-        for violation in outcome.train_only:
-            self.predictor.on_violation(violation.kind,
-                                        violation.producer_pc,
-                                        violation.consumer_pc)
-        if outcome.violations:
-            self._ordering_violation(inst, outcome.violations)
-        if inst.squashed:
-            # An anti-dependence flush squashes the triggering load itself.
-            return
-        if static.is_load:
-            value = outcome.value or 0
-            if op in (ops.LB, ops.LH, ops.LW):
-                value = sign_extend(value, size * 8)
-            inst.dest_value = value
-        self._schedule_completion(inst, outcome.latency)
-
-    # ------------------------------------------------------------------ recovery
-
-    def _branch_mispredict(self, inst: DynInst) -> None:
-        self.counters.incr("branch_mispredict_flushes")
-        resume_trace = -1
-        if inst.on_right_path:
-            record = self.trace[inst.trace_index]
-            if inst.actual_target == record.next_pc:
-                resume_trace = inst.trace_index + 1
-            # Otherwise the branch resolved from misspeculated inputs (a
-            # stale load value whose ordering violation has not been
-            # detected yet): the redirect target is itself wrong-path,
-            # and the eventual violation flush re-fetches the truth.
-        self._flush_after(inst.seq, inst.actual_target, resume_trace,
-                          self.config.mispredict_penalty)
-
-    def _ordering_violation(self, inst: DynInst,
-                            violations: List) -> None:
-        """Recover from MDT/LSQ-detected ordering violations."""
-        flush_after = None
-        for violation in violations:
-            self.counters.incr(f"violation_flushes_{violation.kind}")
-            self.predictor.on_violation(violation.kind,
-                                        violation.producer_pc,
-                                        violation.consumer_pc)
-            if flush_after is None or \
-                    violation.flush_after_seq < flush_after:
-                flush_after = violation.flush_after_seq
-        assert flush_after is not None
-        penalty = self.config.mispredict_penalty + \
-            self.subsystem.violation_extra_penalty
-        first_squashed = self._squash_after(flush_after)
-        if first_squashed is None:
-            # Nothing younger in flight; fetch continues where it was.
-            return
-        resume_trace = first_squashed.trace_index
-        self._redirect_fetch(first_squashed.pc, resume_trace, penalty)
-        self.subsystem.on_partial_flush(flush_after, self.next_seq - 1)
-        self.counters.incr("partial_flushes")
-
-    def _flush_after(self, flush_after_seq: int, resume_pc: int,
-                     resume_trace_index: int, penalty: int) -> None:
-        """Partial pipeline flush with an explicit resume point."""
-        self._squash_after(flush_after_seq)
-        self._redirect_fetch(resume_pc, resume_trace_index, penalty)
-        self.subsystem.on_partial_flush(flush_after_seq,
-                                        self.next_seq - 1)
-        self.counters.incr("partial_flushes")
-
-    def _squash_after(self, flush_after_seq: int) -> Optional[DynInst]:
-        """Squash every instruction younger than the flush point.
-
-        Returns the oldest squashed instruction (None when nothing was
-        squashed).  The RAT is recovered through the undo log: walking
-        the squashed instructions youngest-first and re-mapping each
-        destination back to ``old_rd_phys`` (the mapping that instruction
-        displaced at rename) reconstructs exactly the pre-rename RAT of
-        the oldest squashed instruction, without per-dispatch snapshots.
-        """
-        rob = self.rob
-        rename = self.rename
-        rat = rename.rat
-        scheduler = self.scheduler
-        tag_file = self.tag_file
-        by_seq = self._by_seq
-        first_squashed: Optional[DynInst] = None
-        squashed_count = 0
-        while rob and rob[-1].seq > flush_after_seq:
-            dead = rob.pop()
-            dead.squashed = True
-            scheduler.note_squashed(dead)
-            if dead.produced_tag is not None:
-                tag_file.mark_ready(dead.produced_tag)
-                scheduler.on_tag_ready(dead.produced_tag)
-                tag_file.release(dead.produced_tag)
-            if dead.rd_phys is not None:
-                rat[dead.inst.rd] = dead.old_rd_phys
-                rename.release(dead.rd_phys)
-            del by_seq[dead.seq]
-            first_squashed = dead
-            squashed_count += 1
-        if first_squashed is not None:
-            self.counters.incr("squashed_instructions", squashed_count)
-            scheduler.squash_after(flush_after_seq)
-        return first_squashed
-
-    def _redirect_fetch(self, resume_pc: int, resume_trace_index: int,
-                        penalty: int) -> None:
-        self._fetch_pc = resume_pc
-        self._fetch_trace_index = resume_trace_index
-        # A redirect supersedes any pending stall for the abandoned path.
-        self._fetch_stall_until = self.cycle + penalty
-
-    # ------------------------------------------------------------------ fetch/dispatch
-
-    def _fetch_stage(self) -> None:
-        self._fetch_progress = False
-        if self._fetch_pc is None or self.cycle < self._fetch_stall_until:
-            return
-        branches = 0
-        config = self.config
-        rob = self.rob
-        rob_size = config.rob_size
-        scheduler = self.scheduler
-        sched_capacity = scheduler.capacity
-        rename = self.rename
-        subsystem = self.subsystem
-        fetch = self.program.fetch
-        instructions = self.program.instructions
-        num_insts = len(instructions)
-        inst_latency = self.hierarchy.inst_latency
-        branch_limit = config.fetch_branches_per_cycle
-        for _ in range(config.width):
-            if len(rob) >= rob_size:
-                self._c_stall_rob.value += 1
-                return
-            if scheduler._occupancy >= sched_capacity:
-                self._c_stall_sched.value += 1
-                return
-            if not rename._free:
-                self._c_stall_phys.value += 1
-                return
-            pc = self._fetch_pc
-            # Inline of Program.fetch's aligned in-range fast path; the
-            # slow path (pad/HALT for wrong-path fetch) stays in fetch().
-            index = pc >> 2
-            if index < num_insts and not pc & 3:
-                static = instructions[index]
-            else:
-                static = fetch(pc)
-            if static.is_load and not subsystem.can_dispatch_load():
-                self.counters.incr("dispatch_stalls_lq")
-                return
-            if static.is_store and not subsystem.can_dispatch_store():
-                self.counters.incr("dispatch_stalls_sq")
-                return
-            if static.is_control and branches >= branch_limit:
-                return
-            # Instruction cache: a miss stalls fetch; the lookup filled
-            # the line, so the re-fetch after the stall hits.
-            ilat = inst_latency(pc)
-            if ilat > 1:
-                self._fetch_stall_until = self.cycle + ilat - 1
-                return
-
-            self._dispatch(static, pc)
-            self._fetch_progress = True
-            if static.is_control:
-                branches += 1
-            if static.op == ops.HALT:
-                self._fetch_pc = None
-                return
-            if self._fetch_pc is None:
-                return
-
-    def _dispatch(self, static, pc: int) -> None:
-        """Rename + dispatch one fetched instruction, updating fetch PC.
-
-        This is the hottest function in the simulator (once per dispatched
-        instruction, right *and* wrong path), so the next-fetch-PC logic is
-        folded in rather than split into a helper, and the non-control
-        common case exits early.
-        """
-        trace_index = self._fetch_trace_index
-        record: Optional[RetireRecord] = None
-        if trace_index >= 0:
-            trace = self.trace
-            if trace_index >= len(trace):
-                raise SimulationError(
-                    f"right-path fetch ran past the golden trace "
-                    f"({len(trace)} records) at pc={pc:#x}; the "
-                    f"trace does not belong to this program")
-            record = trace[trace_index]
-            if record.pc != pc:
-                raise SimulationError(
-                    f"right-path fetch diverged: pc={pc:#x} but trace "
-                    f"expects {record.pc:#x} at index {trace_index}")
-
-        seq = self.next_seq
-        self.next_seq = seq + 1
-        inst = DynInst(seq, pc, static, trace_index)
-
-        # Source renaming.  The RAT needs no checkpoint here: recovery
-        # walks the undo log (each instruction's old_rd_phys) instead.
-        rename = self.rename
-        rat = rename.rat
-        ready = rename.ready
-        unready1 = -1
-        unready2 = -1
-        op = static.op
-        if op not in _NO_RS1:
-            phys = rat[static.rs1]
-            inst.rs1_phys = phys
-            if not ready[phys]:
-                unready1 = phys
-        if op in _USES_RS2:
-            phys = rat[static.rs2]
-            inst.rs2_phys = phys
-            if not ready[phys]:
-                unready2 = phys
-        # Destination renaming.
-        if op in _HAS_DEST and static.rd != 0:
-            inst.old_rd_phys = rat[static.rd]
-            inst.rd_phys = rename.allocate(static.rd)
-
-        # Memory dependence prediction (Section 2.1).
-        if static.is_mem:
-            consumed, produced = self.predictor.on_dispatch(
-                pc, static.is_store, self.tag_file)
-            inst.consumed_tag = consumed
-            inst.produced_tag = produced
-            if static.is_load:
-                self.subsystem.dispatch_load(seq, pc)
-            else:
-                self.subsystem.dispatch_store(seq, pc)
-
-        self.rob.append(inst)
-        self._by_seq[seq] = inst
-        self.scheduler.dispatch_fast(inst, unready1, unready2)
-        self._c_dispatched.value += 1
-
-        # Next fetch PC + right-path tracking (was _advance_fetch_pc).
-        if not static.is_control:
-            if op == ops.HALT:
-                inst.actual_target = pc  # matches the ISS convention
-                inst.predicted_target = pc
-                return
-            fall_through = (pc + INSTRUCTION_BYTES) & MASK64
-            inst.predicted_target = fall_through
-            self._fetch_pc = fall_through
-            if record is not None:
-                self._fetch_trace_index = trace_index + 1
-            return
-
-        if static.is_branch:
-            if record is not None:
-                predicted = self.bpred.predict_with_oracle(pc, record.taken)
-            else:
-                predicted = self.bpred.predict(pc)
-                self.bpred.predictions += 1
-            inst.predicted_taken = predicted
-            target = static.imm if predicted \
-                else (pc + INSTRUCTION_BYTES) & MASK64
-            inst.predicted_target = target
-            self._fetch_pc = target
-            if record is not None and target == record.next_pc:
-                self._fetch_trace_index = trace_index + 1
-            else:
-                self._fetch_trace_index = -1
-        elif op == ops.JR:
-            predicted_target = self.bpred.predict_indirect(pc)
-            if record is not None and predicted_target != record.next_pc \
-                    and self.bpred.oracle_should_fix():
-                predicted_target = record.next_pc
-            inst.predicted_taken = True
-            inst.predicted_target = predicted_target
-            self._fetch_pc = predicted_target
-            if record is not None and predicted_target == record.next_pc:
-                self._fetch_trace_index = trace_index + 1
-            else:
-                self._fetch_trace_index = -1
-        else:  # J / JAL
-            inst.predicted_taken = True
-            inst.predicted_target = static.imm
-            self._fetch_pc = static.imm
-            if record is not None:
-                self._fetch_trace_index = trace_index + 1
+__all__ = ["Processor", "SimResult", "SimulationError"]

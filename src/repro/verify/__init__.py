@@ -11,6 +11,13 @@ The oracle hierarchy (see DESIGN.md):
 adversarial programs; :func:`shrink_failure` delta-debugs any failure to
 a minimal instruction sequence; :mod:`~repro.verify.corpus` persists
 minimized failures as replayable JSON regression cases.
+
+Multicore shared-memory runs fall outside the interpreter oracle
+(cross-core stores legitimately change load values), so a second
+backend covers them: :class:`LitmusOracle`, an operational memory model
+that enumerates the allowed outcomes of each litmus test
+(:mod:`repro.workloads.litmus`); :func:`run_litmus_suite` drives the
+simulated machine through the tests and judges every observed outcome.
 """
 
 from .corpus import (
@@ -23,7 +30,20 @@ from .corpus import (
     replay_corpus,
 )
 from .fuzzer import DifferentialFuzzer, FuzzMismatch, FuzzReport
+from .litmus_oracle import (
+    LitmusOracle,
+    LitmusReport,
+    LitmusResult,
+    run_litmus_suite,
+    run_litmus_test,
+)
 from .shrink import shrink_failure
+
+#: The verification backends, by name (see DESIGN.md).
+VERIFICATION_BACKENDS = {
+    "fuzz": DifferentialFuzzer,
+    "litmus": LitmusOracle,
+}
 
 __all__ = [
     "CASE_SCHEMA_VERSION",
@@ -32,9 +52,15 @@ __all__ = [
     "DifferentialFuzzer",
     "FuzzMismatch",
     "FuzzReport",
+    "LitmusOracle",
+    "LitmusReport",
+    "LitmusResult",
     "ReplayReport",
+    "VERIFICATION_BACKENDS",
     "load_corpus",
     "replay_case",
     "replay_corpus",
+    "run_litmus_suite",
+    "run_litmus_test",
     "shrink_failure",
 ]

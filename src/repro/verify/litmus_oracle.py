@@ -1,0 +1,264 @@
+"""Operational-model oracle for litmus tests -- the second verification
+backend, next to the differential fuzzer.
+
+The fuzzer checks single-core configurations against the in-order
+interpreter; that oracle says nothing about *multicore* runs, where
+cross-core stores legitimately change what loads return.  This module
+supplies the missing reference: a small operational memory model whose
+set of **allowed outcomes** for a litmus test must cover every outcome
+the simulator can produce.
+
+The model (matching the simulated machine's shared-memory semantics):
+
+* each thread **commits** its operations strictly in program order;
+* a **store** becomes globally visible (writes the single shared image)
+  at its commit -- exactly the simulator's store-retirement coherence
+  point;
+* a **load** may *pre-execute* at any point up to its commit, reading
+  the shared image at that moment -- modelling out-of-order speculative
+  load execution with no cross-core snooping.  If a program-order
+  earlier *uncommitted* store of the same thread targets the same
+  location, the load forwards that store's value instead (the machine's
+  SFC/MDT/LSQ machinery squashes-and-replays any load that slipped past
+  a same-core older store, so a load can never retire having missed
+  one);
+* a load not pre-executed by its commit simply reads the image at
+  commit time.
+
+:func:`allowed_outcomes` enumerates every interleaving of commit and
+pre-execute events by exhaustive memoized DFS -- litmus tests are a
+handful of operations, so the state space is tiny.  The oracle is sound
+in one direction by construction: it may allow outcomes the finite
+machine happens never to exhibit, but an *observed* outcome it rejects
+is a memory-model bug in the simulator (or the oracle).  For the
+shipped tests the interesting verdicts are: MP ``(1, 0)`` allowed (load
+reordering), SB ``(0, 0)`` allowed (store buffering), LB ``(1, 1)``
+**forbidden** (a causal cycle neither the model nor the in-order-retire
+machine can produce).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..harness.configs import baseline_sfc_mdt_config, litmus_system_config
+from ..obs.runrecord import KIND_LITMUS, SCHEMA_VERSION
+from ..pipeline.config import CoreConfig
+from ..pipeline.system import System, SystemResult
+from ..workloads.litmus import LD, LITMUS_TESTS, ST, LitmusTest, get_litmus
+
+
+class LitmusOracle:
+    """Exhaustive enumerator of outcomes allowed by the operational
+    model."""
+
+    name = "operational"
+
+    def __init__(self):
+        self._cache: Dict[str, FrozenSet[Tuple[int, ...]]] = {}
+
+    def allowed_outcomes(self, test: LitmusTest
+                         ) -> FrozenSet[Tuple[int, ...]]:
+        """Every outcome tuple the operational model can produce."""
+        cached = self._cache.get(test.name)
+        if cached is not None:
+            return cached
+        outcomes = frozenset(_enumerate(test))
+        self._cache[test.name] = outcomes
+        return outcomes
+
+    def allowed(self, test: LitmusTest, outcome: Tuple[int, ...]) -> bool:
+        """Is ``outcome`` (an observed load-value tuple) allowed?"""
+        return tuple(outcome) in self.allowed_outcomes(test)
+
+    def explain(self, test: LitmusTest, outcome: Tuple[int, ...]) -> str:
+        verdict = "allowed" if self.allowed(test, outcome) else "FORBIDDEN"
+        universe = sorted(self.allowed_outcomes(test))
+        return (f"{test.name}: outcome {tuple(outcome)} is {verdict}; "
+                f"model allows {universe}")
+
+
+def _enumerate(test: LitmusTest) -> List[Tuple[int, ...]]:
+    """DFS over every interleaving of commit / pre-execute events."""
+    threads = test.threads
+    slots = test.load_slots()
+    init_memory = tuple(sorted({op[1] for thread in threads
+                                for op in thread}))
+    outcomes = set()
+    seen = set()
+
+    def dfs(pcs, memory, pre, observed):
+        # pcs: per-thread commit pointer; memory: loc -> value;
+        # pre: (tid, op_index) -> captured value for pre-executed,
+        # uncommitted loads; observed: (tid, op_index) -> committed value.
+        key = (pcs, tuple(sorted(memory.items())),
+               tuple(sorted(pre.items())),
+               tuple(sorted(observed.items())))
+        if key in seen:
+            return
+        seen.add(key)
+        if all(pc == len(threads[tid]) for tid, pc in enumerate(pcs)):
+            out = []
+            for tid, slot in slots:
+                index = _load_index(threads[tid], slot)
+                out.append(observed[(tid, index)])
+            outcomes.add(tuple(out))
+            return
+        for tid, thread in enumerate(threads):
+            pc = pcs[tid]
+            # Event 1: commit the next op of thread `tid`.
+            if pc < len(thread):
+                op = thread[pc]
+                next_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1:]
+                if op[0] == ST:
+                    dfs(next_pcs, {**memory, op[1]: op[2]}, pre, observed)
+                else:
+                    if (tid, pc) in pre:
+                        next_pre = dict(pre)
+                        value = next_pre.pop((tid, pc))
+                    else:
+                        # Every program-order earlier same-thread store
+                        # has committed, so the image already holds the
+                        # forwardable value (or a later overwrite by
+                        # another thread -- equally legal).
+                        next_pre = pre
+                        value = memory[op[1]]
+                    dfs(next_pcs, memory, next_pre,
+                        {**observed, (tid, pc): value})
+            # Event 2: pre-execute any future load of thread `tid`.
+            for index in range(pc, len(thread)):
+                op = thread[index]
+                if op[0] != LD or (tid, index) in pre:
+                    continue
+                forwarded = _forwarding_store(thread, index, op[1], pc)
+                value = forwarded if forwarded is not None \
+                    else memory[op[1]]
+                dfs(pcs, memory, {**pre, (tid, index): value}, observed)
+
+    dfs(tuple(0 for _ in threads), {loc: 0 for loc in init_memory},
+        {}, {})
+    return sorted(outcomes)
+
+
+def _load_index(thread, slot: int) -> int:
+    """Op index of the ``slot``-th load in a thread."""
+    count = 0
+    for index, op in enumerate(thread):
+        if op[0] == LD:
+            if count == slot:
+                return index
+            count += 1
+    raise IndexError(f"no load slot {slot} in {thread!r}")
+
+
+def _forwarding_store(thread, load_index: int, loc: str,
+                      pc: int) -> Optional[int]:
+    """Value of the nearest program-order earlier *uncommitted* store to
+    ``loc``, if that is what the load must forward from."""
+    for index in range(load_index - 1, -1, -1):
+        op = thread[index]
+        if op[0] == ST and op[1] == loc:
+            # Committed earlier stores are already in the image; only an
+            # in-flight one forces forwarding of a specific value.
+            return op[2] if index >= pc else None
+    return None
+
+
+# --------------------------------------------------------------------- runner
+
+
+class LitmusResult:
+    """One litmus test's simulated outcome plus the oracle verdict."""
+
+    def __init__(self, test: LitmusTest, config_name: str,
+                 outcome: Tuple[int, ...], allowed: bool,
+                 allowed_outcomes: FrozenSet[Tuple[int, ...]],
+                 system_result: Optional[SystemResult] = None):
+        self.test_name = test.name
+        self.description = test.description
+        self.config_name = config_name
+        self.outcome = tuple(outcome)
+        self.allowed = allowed
+        self.allowed_outcomes = allowed_outcomes
+        self.system_result = system_result
+
+    def to_dict(self) -> dict:
+        return {
+            "test": self.test_name,
+            "config": self.config_name,
+            "outcome": list(self.outcome),
+            "allowed": self.allowed,
+            "allowed_outcomes": sorted(
+                list(outcome) for outcome in self.allowed_outcomes),
+        }
+
+
+class LitmusReport:
+    """Outcome of a litmus campaign across tests (and configs)."""
+
+    def __init__(self, results: List[LitmusResult]):
+        self.results = results
+
+    @property
+    def violations(self) -> List[LitmusResult]:
+        return [result for result in self.results if not result.allowed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": KIND_LITMUS,
+            "ok": self.ok,
+            "runs": len(self.results),
+            "violations": len(self.violations),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def format(self) -> str:
+        lines = ["litmus campaign: "
+                 f"{len(self.results)} run(s), "
+                 f"{len(self.violations)} violation(s)"]
+        for result in self.results:
+            verdict = "ok " if result.allowed else "VIOLATION"
+            lines.append(
+                f"  [{verdict}] {result.test_name:<4} on "
+                f"{result.config_name}: observed {result.outcome}, "
+                f"model allows "
+                f"{sorted(result.allowed_outcomes)}")
+        return "\n".join(lines)
+
+
+def run_litmus_test(test, core_config: Optional[CoreConfig] = None,
+                    oracle: Optional[LitmusOracle] = None) -> LitmusResult:
+    """Run one litmus test end-to-end on the simulated machine (shared
+    memory mode, one core per thread) and judge the observed outcome."""
+    if not isinstance(test, LitmusTest):
+        test = get_litmus(test)
+    core = core_config if core_config is not None \
+        else baseline_sfc_mdt_config()
+    config = litmus_system_config(core=core, cores=test.cores)
+    system = System(test.programs(), config)
+    system_result = system.run()
+    outcome = test.outcome(system.shared_memory)
+    oracle = oracle if oracle is not None else LitmusOracle()
+    return LitmusResult(test, core.name, outcome,
+                        oracle.allowed(test, outcome),
+                        oracle.allowed_outcomes(test), system_result)
+
+
+def run_litmus_suite(tests=None, core_configs=None) -> LitmusReport:
+    """Run a litmus campaign: every test on every core config."""
+    if tests is None:
+        tests = [LITMUS_TESTS[name] for name in sorted(LITMUS_TESTS)]
+    else:
+        tests = [test if isinstance(test, LitmusTest) else get_litmus(test)
+                 for test in tests]
+    if core_configs is None:
+        core_configs = [baseline_sfc_mdt_config()]
+    oracle = LitmusOracle()
+    results = [run_litmus_test(test, core, oracle)
+               for core in core_configs for test in tests]
+    return LitmusReport(results)

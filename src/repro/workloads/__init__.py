@@ -1,6 +1,14 @@
-"""Synthetic SPEC-2000-styled workloads and a random program generator."""
+"""Synthetic SPEC-2000-styled workloads, litmus tests, and a random
+program generator."""
 
 from .builder import KernelBuilder
+from .litmus import (
+    LITMUS_TESTS,
+    LitmusTest,
+    get_litmus,
+    is_litmus,
+    litmus_benchmark_names,
+)
 from .randprog import (
     FuzzProgramBuilder,
     RandomProgramBuilder,
@@ -25,9 +33,14 @@ __all__ = [
     "FuzzProgramBuilder",
     "INT_BENCHMARKS",
     "KernelBuilder",
+    "LITMUS_TESTS",
+    "LitmusTest",
     "RandomProgramBuilder",
     "build",
     "fuzz_program",
+    "get_litmus",
     "is_fp",
+    "is_litmus",
+    "litmus_benchmark_names",
     "random_program",
 ]

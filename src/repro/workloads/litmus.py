@@ -1,0 +1,197 @@
+"""Litmus-test workloads for the multicore shared-memory mode.
+
+A litmus test is a tiny multi-threaded program probing one memory-model
+question: each thread is a short, *branch-free* sequence of stores and
+loads over a couple of shared locations, and the "outcome" is the tuple
+of values the loads observed.  The classic trio shipped here:
+
+* **MP** (message passing) -- T0 publishes data then a flag; T1 reads
+  the flag then the data.  Observing the flag set but the data stale
+  means T1's loads were reordered.
+* **SB** (store buffering) -- each thread stores to its own location
+  then loads the other's.  Both loads reading 0 means stores were
+  buffered past the loads (neither store was visible when the other
+  thread's load executed).
+* **LB** (load buffering) -- each thread loads one location then stores
+  the other.  Both loads reading 1 would require each load to observe a
+  store that is program-order *after* the other load -- a causal cycle.
+
+Each abstract thread compiles (:meth:`LitmusTest.programs`) to a
+straight-line assembly program: loaded values are written to per-thread
+*result locations* in shared memory, so the outcome of a run is read
+back from the final shared image with :meth:`LitmusTest.outcome`.
+Shared locations and result slots all live on distinct cache lines.
+
+Threads are branch-free on purpose: each core's golden trace (its
+single-threaded architectural execution) then matches the fetch path
+exactly, so the pipeline's right-path tracking stays intact even though
+cross-core stores change the *values* loads return (value validation is
+off in shared mode; the operational-model oracle in
+:mod:`repro.verify.litmus_oracle` judges the observed outcomes instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..isa.assembler import Assembler
+from ..isa.program import Program
+
+#: Shared locations, one per 256-byte stride so no two share an L1D
+#: (64B) or L2 (128B) line.
+LOCATIONS: Dict[str, int] = {
+    "X": 0x4000,
+    "Y": 0x4100,
+    "Z": 0x4200,
+}
+
+#: Per-thread result areas (thread t, load slot k -> address).
+RESULT_BASE = 0x8000
+RESULT_THREAD_STRIDE = 0x100
+RESULT_SLOT_STRIDE = 8
+
+#: Thread-op discriminators.
+ST = "st"
+LD = "ld"
+
+#: One abstract op: ``(ST, location, value)`` or ``(LD, location)``.
+Op = Tuple
+ThreadSpec = Sequence[Op]
+
+
+def result_address(thread: int, slot: int) -> int:
+    return RESULT_BASE + thread * RESULT_THREAD_STRIDE \
+        + slot * RESULT_SLOT_STRIDE
+
+
+class LitmusTest:
+    """One named litmus test: N abstract threads over shared locations."""
+
+    def __init__(self, name: str, description: str,
+                 threads: Sequence[ThreadSpec]):
+        self.name = name
+        self.description = description
+        self.threads = [list(thread) for thread in threads]
+        for thread in self.threads:
+            for op in thread:
+                if op[0] not in (ST, LD) or op[1] not in LOCATIONS:
+                    raise ValueError(f"{name}: malformed op {op!r}")
+
+    @property
+    def cores(self) -> int:
+        return len(self.threads)
+
+    def load_slots(self) -> List[Tuple[int, int]]:
+        """Every ``(thread, slot)`` load position, outcome order."""
+        slots = []
+        for tid, thread in enumerate(self.threads):
+            slot = 0
+            for op in thread:
+                if op[0] == LD:
+                    slots.append((tid, slot))
+                    slot += 1
+        return slots
+
+    # ------------------------------------------------------------ compile
+
+    def programs(self) -> List[Program]:
+        """One straight-line assembly program per thread.
+
+        Loads land in ``r10+slot``; an epilogue stores every loaded
+        value to the thread's private result slot so the outcome
+        survives in the final shared image."""
+        programs = []
+        for tid, thread in enumerate(self.threads):
+            asm = Assembler()
+            slot = 0
+            for op in thread:
+                if op[0] == ST:
+                    _, loc, value = op
+                    asm.li("r1", LOCATIONS[loc])
+                    asm.li("r2", value)
+                    asm.sd("r2", "r1")
+                else:
+                    _, loc = op
+                    asm.li("r1", LOCATIONS[loc])
+                    asm.ld(f"r{10 + slot}", "r1")
+                    slot += 1
+            for k in range(slot):
+                asm.li("r1", result_address(tid, k))
+                asm.sd(f"r{10 + k}", "r1")
+            asm.halt()
+            programs.append(asm.build(name=f"{self.name}-t{tid}"))
+        return programs
+
+    # ------------------------------------------------------------ observe
+
+    def outcome(self, memory) -> Tuple[int, ...]:
+        """Read the observed outcome tuple back from a final memory
+        image (loads in thread order, program order within a thread)."""
+        return tuple(
+            memory.read_int(result_address(tid, slot), 8)
+            for tid, slot in self.load_slots())
+
+    def __repr__(self) -> str:
+        return f"LitmusTest({self.name}: {self.cores} threads)"
+
+
+def _mp() -> LitmusTest:
+    return LitmusTest(
+        "mp", "message passing: data then flag vs flag then data",
+        threads=[
+            [(ST, "X", 1), (ST, "Y", 1)],
+            [(LD, "Y"), (LD, "X")],
+        ])
+
+
+def _sb() -> LitmusTest:
+    return LitmusTest(
+        "sb", "store buffering: each thread stores then loads the other",
+        threads=[
+            [(ST, "X", 1), (LD, "Y")],
+            [(ST, "Y", 1), (LD, "X")],
+        ])
+
+
+def _lb() -> LitmusTest:
+    return LitmusTest(
+        "lb", "load buffering: each thread loads then stores the other",
+        threads=[
+            [(LD, "X"), (ST, "Y", 1)],
+            [(LD, "Y"), (ST, "X", 1)],
+        ])
+
+
+#: The shipped suite, keyed by short name.
+LITMUS_TESTS: Dict[str, LitmusTest] = {
+    "mp": _mp(),
+    "sb": _sb(),
+    "lb": _lb(),
+}
+
+#: Prefix under which litmus tests appear next to benchmark names.
+LITMUS_PREFIX = "litmus-"
+
+
+def litmus_benchmark_names() -> List[str]:
+    """Litmus tests under benchmark-style names (``litmus-mp``, ...)."""
+    return sorted(LITMUS_PREFIX + name for name in LITMUS_TESTS)
+
+
+def is_litmus(name: str) -> bool:
+    return name in LITMUS_TESTS or (
+        name.startswith(LITMUS_PREFIX)
+        and name[len(LITMUS_PREFIX):] in LITMUS_TESTS)
+
+
+def get_litmus(name: str) -> LitmusTest:
+    """Look a test up by short (``mp``) or benchmark (``litmus-mp``)
+    name."""
+    key = name[len(LITMUS_PREFIX):] if name.startswith(LITMUS_PREFIX) \
+        else name
+    try:
+        return LITMUS_TESTS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown litmus test {name!r}; choose from "
+            f"{litmus_benchmark_names()}") from None

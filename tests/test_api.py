@@ -122,3 +122,45 @@ class TestDeprecationShims:
             warnings.simplefilter("error", DeprecationWarning)
             report = format_report(record)
         assert "gap on baseline-sfc-mdt" in report
+
+
+class TestSimulateSystem:
+    def test_returns_v3_runrecord(self):
+        record = api.simulate_system("gap", "baseline-sfc-mdt", cores=2,
+                                     scale=1200, **quiet_runner_kwargs())
+        assert isinstance(record, RunRecord)
+        assert record.cores == 2
+        assert record.to_dict()["schema_version"] == 3
+        assert record.counters["core1_retired_instructions"] > 0
+        assert "l2_miss_rate" in record.counters
+
+    def test_litmus_benchmark_defaults_to_shared(self):
+        record = api.simulate_system("litmus-mp",
+                                     **quiet_runner_kwargs())
+        assert record.cores == 2
+        assert record.benchmark == "litmus-mp"
+
+    def test_litmus_with_private_memory_rejected(self):
+        with pytest.raises(ValueError, match="shared"):
+            api.simulate_system("litmus-mp", memory_mode="private",
+                                **quiet_runner_kwargs())
+
+    def test_litmus_wrong_core_count_rejected(self):
+        with pytest.raises(ValueError, match="cores"):
+            api.simulate_system("litmus-mp", cores=3,
+                                **quiet_runner_kwargs())
+
+    def test_list_litmus_tests(self):
+        assert api.list_litmus_tests() == ["litmus-lb", "litmus-mp",
+                                           "litmus-sb"]
+
+
+class TestRunLitmusApi:
+    def test_default_suite_ok(self):
+        report = api.run_litmus()
+        assert report.ok and len(report.results) == 3
+
+    def test_named_config_resolved(self):
+        report = api.run_litmus(tests=["mp"], configs=["baseline-lsq"])
+        assert report.ok
+        assert report.results[0].config_name.startswith("baseline-lsq")

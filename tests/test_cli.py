@@ -268,3 +268,75 @@ class TestFuzzCli:
         empty.mkdir()
         assert main(["fuzz", "--replay", "--corpus", str(empty)]) == 0
         assert "0 case(s)" in capsys.readouterr().out
+
+
+class TestMulticoreCli:
+    def test_run_litmus_exits_zero_when_allowed(self, capsys):
+        assert main(["run", "litmus-mp", "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "litmus-mp" in out
+        assert "outcome:" in out and "model allows:" in out
+
+    def test_run_litmus_default_cores(self, capsys):
+        # --cores defaults to 1, meaning "use the test's own count".
+        assert main(["run", "litmus-sb"]) == 0
+
+    def test_run_litmus_wrong_cores_rejected(self, capsys):
+        assert main(["run", "litmus-mp", "--cores", "3"]) == 2
+        assert "needs --cores 2" in capsys.readouterr().err
+
+    def test_run_litmus_private_memory_rejected(self, capsys):
+        assert main(["run", "litmus-mp", "--memory-mode", "private"]) == 2
+        assert "shared memory" in capsys.readouterr().err
+
+    def test_run_litmus_trace_flags_rejected(self, capsys):
+        assert main(["run", "litmus-mp", "--epoch-cycles", "100",
+                     "--trace-out", "/tmp/x.jsonl"]) == 2
+        assert "single-core only" in capsys.readouterr().err
+
+    def test_run_litmus_json_envelope(self, capsys):
+        assert main(["run", "litmus-mp", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "litmus-run"
+        assert payload["litmus"]["test"] == "mp"
+        assert payload["litmus"]["allowed"] is True
+        run = payload["run"]
+        assert run["schema_version"] == SCHEMA_VERSION + 1
+        assert run["cores"] == 2
+        record = RunRecord.from_dict(run)
+        assert record.cores == 2
+
+    def test_run_multicore_benchmark(self, capsys):
+        assert main(["run", "gap", "--scale", "1500", "--no-cache",
+                     "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gap x2" in out
+        assert "core0:" in out and "core1:" in out
+        assert "shared L2:" in out
+
+    def test_run_multicore_json_is_v3_record(self, capsys):
+        assert main(["run", "gap", "--scale", "1500", "--no-cache",
+                     "--cores", "2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION + 1
+        assert payload["cores"] == 2
+        assert payload["counters"]["core0_retired_instructions"] > 0
+
+    def test_litmus_subcommand_suite(self, capsys):
+        assert main(["litmus"]) == 0
+        out = capsys.readouterr().out
+        assert "3 run(s), 0 violation(s)" in out
+
+    def test_litmus_subcommand_json(self, capsys):
+        assert main(["litmus", "--tests", "litmus-mp", "--format",
+                     "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "litmus"
+        assert payload["ok"] is True
+        assert payload["runs"] == 1
+
+    def test_list_includes_litmus_tests(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["litmus_tests"] == ["litmus-lb", "litmus-mp",
+                                           "litmus-sb"]

@@ -345,3 +345,48 @@ class TestManifest:
         assert "gap" in text
         assert "hit" in text and "miss" in text
         assert "1 cache hits, 1 simulated" in text
+
+
+class TestRunSystem:
+    def make_config(self, cores=2, memory_mode="private"):
+        from repro.pipeline import SystemConfig
+        return SystemConfig(core=baseline_sfc_mdt_config(), cores=cores,
+                            memory_mode=memory_mode)
+
+    def test_multicore_cell_cached(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        cold = runner.run_system("gap", self.make_config())
+        warm = runner.run_system("gap", self.make_config())
+        assert [e["cache_hit"] for e in runner.manifest] == [False, True]
+        assert cold.cycles == warm.cycles
+        assert cold.counters == warm.counters
+        assert warm.cores == 2
+
+    def test_system_key_distinct_from_core_key(self):
+        core = baseline_sfc_mdt_config()
+        assert cache_key("gap", SCALE, core) != \
+            cache_key("gap", SCALE, self.make_config(cores=1))
+
+    def test_key_varies_with_cores_and_mode(self):
+        keys = {cache_key("gap", SCALE, self.make_config(cores=n,
+                                                         memory_mode=m))
+                for n in (1, 2) for m in ("shared", "private")}
+        assert len(keys) == 4
+
+    def test_litmus_cell_via_engine(self, tmp_path):
+        from repro.pipeline import SystemConfig
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        config = SystemConfig(core=baseline_sfc_mdt_config(), cores=2,
+                              memory_mode="shared")
+        record = runner.run_system("litmus-mp", config)
+        assert record.benchmark == "litmus-mp"
+        assert record.cores == 2
+
+    def test_litmus_config_mismatch_rejected(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE, cache_dir=tmp_path)
+        with pytest.raises(ValueError, match="needs exactly 2"):
+            runner.run_system("litmus-mp", self.make_config(
+                cores=3, memory_mode="shared"))
+        with pytest.raises(ValueError, match="shared"):
+            runner.run_system("litmus-mp", self.make_config(
+                cores=2, memory_mode="private"))

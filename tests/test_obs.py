@@ -17,15 +17,18 @@ from repro.obs.metrics import (
 )
 from repro.obs.runrecord import (
     SCHEMA_VERSION,
+    SCHEMA_VERSION_MULTICORE,
     RunRecord,
     SchemaError,
     records_from_manifest,
     validate_record,
 )
 from repro.perf import manifest_digest
+from repro.verify import run_litmus_test
 from tests.conftest import assemble, counted_loop_program
 
 GOLDEN = Path(__file__).parent / "data" / "runrecord.golden.json"
+GOLDEN_V3 = Path(__file__).parent / "data" / "runrecord_v3.golden.json"
 
 
 def golden_record() -> RunRecord:
@@ -143,6 +146,80 @@ class TestRunRecord:
         """A SCHEMA_VERSION bump forces regenerating the golden file."""
         payload = json.loads(GOLDEN.read_text())
         assert payload["schema_version"] == SCHEMA_VERSION
+
+
+def multicore_record() -> RunRecord:
+    """A deterministic multicore (schema v3) record."""
+    litmus = run_litmus_test("mp")
+    return RunRecord.from_system_result(litmus.system_result,
+                                        benchmark="litmus-mp")
+
+
+class TestMulticoreRecord:
+    def test_single_core_records_stay_v2(self):
+        payload = golden_record().to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert "cores" not in payload
+
+    def test_multicore_records_are_v3(self):
+        payload = multicore_record().to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION_MULTICORE
+        assert payload["cores"] == 2
+        assert any(name.startswith("core1_") for name in payload["counters"])
+
+    def test_v3_roundtrip(self):
+        record = multicore_record()
+        payload = record.to_dict()
+        validate_record(payload)
+        again = RunRecord.from_dict(payload)
+        assert again.cores == 2
+        assert again.to_dict() == payload
+
+    def test_v2_payload_with_cores_key_rejected(self):
+        payload = golden_record().to_dict()
+        payload["cores"] = 1
+        with pytest.raises(SchemaError):
+            validate_record(payload)
+
+    def test_v3_payload_without_cores_rejected(self):
+        payload = multicore_record().to_dict()
+        del payload["cores"]
+        with pytest.raises(SchemaError):
+            validate_record(payload)
+
+    def test_v3_payload_with_bad_cores_rejected(self):
+        payload = multicore_record().to_dict()
+        for bad in (0, -1, True, "2"):
+            payload["cores"] = bad
+            with pytest.raises(SchemaError):
+                validate_record(payload)
+
+    def test_golden_v3_file_matches(self):
+        """The multicore schema is pinned byte-for-byte, like v2."""
+        assert GOLDEN_V3.exists(), \
+            "golden file missing; run scripts/regen_golden.py"
+        expected = GOLDEN_V3.read_text()
+        assert multicore_record().to_json(indent=2) + "\n" == expected
+
+
+class TestCorePrefixedMetrics:
+    def test_registry_resolves_core_prefixed_names(self):
+        assert "core0_retired_loads" in METRICS
+        assert "core17_cycles" in METRICS
+        assert METRICS.get("core1_retired_loads") is \
+            METRICS.get("retired_loads")
+        assert "core0_not_a_metric" not in METRICS
+
+    def test_declare_rejects_reserved_namespace(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError, match="reserved"):
+            reg.declare("core0_widgets", COUNTER, "s", "d")
+
+    def test_system_counters_all_declared(self):
+        record = multicore_record()
+        undeclared = [name for name in record.counters
+                      if name not in METRICS]
+        assert not undeclared, f"undeclared counters: {undeclared}"
 
 
 class TestManifestRecords:
