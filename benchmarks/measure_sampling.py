@@ -1,0 +1,60 @@
+"""Measure sampled-mode speedup and accuracy on long kernel runs.
+
+Runs three kernels at a scale yielding >= 1M retired instructions each,
+once in full detailed mode and once with checkpointed interval
+sampling (K detailed windows separated by fast-forward gaps), and
+records wall-clock speedup plus whether each sampled IPC's 95%
+confidence interval covers the full-run value.  Results go to
+``benchmarks/results/BENCH_sampling.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/measure_sampling.py
+"""
+
+import os
+import sys
+from pathlib import Path
+
+from repro.harness.configs import baseline_sfc_mdt_config
+from repro.perf import measure_sampling
+
+BENCHMARKS = ("gzip", "mcf", "equake")
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "2000000"))
+INTERVALS = 10
+WARMUP = 1_000
+INTERVAL = 5_000
+RESULTS = Path(__file__).parent / "results" / "BENCH_sampling.txt"
+
+
+def main() -> int:
+    config = baseline_sfc_mdt_config()
+    report = measure_sampling(list(BENCHMARKS), config, SCALE,
+                              intervals=INTERVALS, warmup_insts=WARMUP,
+                              interval_insts=INTERVAL)
+    lines = [
+        "Sampled-mode benchmark: checkpointed fast-forward + interval "
+        "sampling",
+        f"config={config.name} scale={SCALE} intervals={INTERVALS} "
+        f"warmup={WARMUP} interval={INTERVAL}",
+        "",
+        report.format(),
+        "",
+        f"min speedup {report.min_speedup:.1f}x; "
+        f"all within CI: {report.all_within_ci}",
+    ]
+    text = "\n".join(lines) + "\n"
+    RESULTS.write_text(text)
+    print(text)
+    print(f"wrote {RESULTS}")
+    if not report.all_within_ci:
+        print("FAIL: a sampled IPC fell outside its reported CI")
+        return 1
+    if report.min_speedup < 5.0:
+        print(f"FAIL: min speedup {report.min_speedup:.1f}x < 5x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

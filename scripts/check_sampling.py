@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Sampled-mode accuracy gate.
+
+Runs a small grid of kernels in two modes -- full detailed simulation
+and checkpointed interval sampling -- and asserts that every sampled
+IPC lies within its own reported 95% confidence interval of the
+full-run value.  A sampled estimator whose error bars do not cover
+ground truth is worse than no estimator: downstream speedup claims
+inherit the bias silently.
+
+    python scripts/check_sampling.py            # gate (CI)
+    python scripts/check_sampling.py --report   # print the table only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.harness.configs import (  # noqa: E402
+    baseline_lsq_config,
+    baseline_sfc_mdt_config,
+)
+from repro.perf import measure_sampling  # noqa: E402
+
+BENCHMARKS = ("gzip", "mcf", "equake")
+SCALE = 30_000
+INTERVALS = 8
+WARMUP = 500
+INTERVAL = 2_000
+
+
+def main() -> int:
+    failures = 0
+    for config in (baseline_sfc_mdt_config(), baseline_lsq_config()):
+        report = measure_sampling(list(BENCHMARKS), config, SCALE,
+                                  intervals=INTERVALS,
+                                  warmup_insts=WARMUP,
+                                  interval_insts=INTERVAL)
+        print(report.format())
+        if "--report" in sys.argv[1:]:
+            continue
+        for sample in report.samples:
+            if not sample.within_ci:
+                failures += 1
+                print(f"FAIL: {sample.benchmark}/{sample.config_name}: "
+                      f"sampled {sample.sampled_ipc:.4f} +/- "
+                      f"{sample.sampled_ci:.4f} does not cover full "
+                      f"{sample.full_ipc:.4f}")
+    if failures:
+        print(f"FAIL: {failures} sampled cell(s) outside their "
+              f"reported confidence interval")
+        return 1
+    if "--report" not in sys.argv[1:]:
+        print("ok: every sampled IPC within its 95% CI of the "
+              "full-run value")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

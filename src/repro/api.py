@@ -7,6 +7,9 @@ objects, so callers no longer import from ``repro.pipeline.processor``
 or ``repro.harness`` internals:
 
 * :func:`simulate` -- one (benchmark, configuration) cell -> RunRecord;
+* :func:`simulate_sampled` -- the same cell under checkpointed
+  fast-forward + interval sampling -> RunRecord with a ``sampling``
+  block (IPC mean, confidence interval, interval table);
 * :func:`simulate_system` -- one N-core system cell (N-up private-memory
   replication, or a shared-memory litmus test) -> RunRecord (schema v3);
 * :func:`run_litmus` -- a litmus campaign over the shared-memory
@@ -130,6 +133,32 @@ def simulate(benchmark: str, config: ConfigLike = "baseline-sfc-mdt",
     engine = _runner(scale, runner, **runner_kwargs)
     engine.run(benchmark, resolve_config(config))
     return engine.last_record()
+
+
+def simulate_sampled(benchmark: str,
+                     config: ConfigLike = "baseline-sfc-mdt",
+                     scale: int = DEFAULT_SCALE, intervals: int = 10,
+                     warmup_insts: int = 1_000,
+                     interval_insts: int = 5_000,
+                     checkpoint_every: Optional[int] = None,
+                     warm: bool = True,
+                     runner: Optional[ExperimentRunner] = None,
+                     **runner_kwargs) -> RunRecord:
+    """Sampled simulation of one cell: checkpointed fast-forward with
+    ``intervals`` detailed windows of ``warmup_insts + interval_insts``
+    instructions each (warm-up counters discarded).
+
+    The record's ``ipc`` is the per-interval mean; ``record.sampling``
+    carries ``ipc_ci95`` (confidence half-width), the interval table,
+    and the fast-forward/detailed instruction split.  See DESIGN.md
+    "Sampling methodology" for the error model and when exact mode is
+    required instead.
+    """
+    engine = _runner(scale, runner, **runner_kwargs)
+    return engine.run_sampled(
+        benchmark, resolve_config(config), intervals=intervals,
+        warmup_insts=warmup_insts, interval_insts=interval_insts,
+        checkpoint_every=checkpoint_every, warm=warm)
 
 
 def simulate_system(benchmark: str,
@@ -314,6 +343,7 @@ __all__ = [
     "run_litmus",
     "run_suite",
     "simulate",
+    "simulate_sampled",
     "simulate_system",
     "trace",
 ]

@@ -76,6 +76,35 @@ class GsharePredictor:
         if predicted != taken:
             self.mispredictions += 1
 
+    # -- warm-state capsules -------------------------------------------------
+
+    def export_state(self) -> Dict:
+        """Snapshot the *trained* state (counter table, global history,
+        indirect-target cache) for a checkpoint warm capsule.
+
+        Prediction statistics and the oracle RNG are deliberately
+        excluded: a restored predictor starts counting from zero so a
+        sampled interval reports only its own predictions.
+        """
+        return {
+            "counters": list(self._counters),
+            "history": self._history,
+            "indirect": {str(pc): target for pc, target
+                         in self._indirect_targets.items()},
+        }
+
+    def import_state(self, state: Dict) -> None:
+        """Restore trained state from :meth:`export_state` output."""
+        counters = list(state["counters"])
+        if len(counters) != len(self._counters):
+            raise ValueError(
+                f"warm capsule has {len(counters)} counters; this "
+                f"predictor has {len(self._counters)}")
+        self._counters[:] = counters
+        self._history = state["history"] & self._history_mask
+        self._indirect_targets = {int(pc): target for pc, target
+                                  in state["indirect"].items()}
+
     def oracle_should_fix(self) -> bool:
         """One draw of the fixup oracle (used for indirect targets)."""
         return self._rng.random() < self.oracle_fix_rate

@@ -1,0 +1,86 @@
+"""Content-addressed on-disk checkpoint store.
+
+Checkpoint trains live under ``<cache-dir>/checkpoints/`` (by default
+inside the same ``.repro_cache/`` the result cache uses), keyed by a
+hash of the program content digest and the capture parameters.  Grid
+cells that share a benchmark therefore fast-forward once: the first
+cell captures and persists the train, every later cell -- in the same
+process or a later one -- restores it.
+
+Writes are atomic (collision-proof temp + rename), mirroring
+:class:`~repro.harness.experiment.ResultCache`, so concurrent runners
+sharing a cache directory only ever observe complete trains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .arch import CHECKPOINT_FORMAT, ArchCheckpoint
+
+
+def train_key(program_digest: str, every: int, warm: bool) -> str:
+    """Content hash identifying one checkpoint train.
+
+    Covers the program's content digest (not its name -- two identically
+    built programs share a train), the capture interval, whether warm
+    capsules were collected, and the serialization format version.
+    """
+    canonical = json.dumps(
+        {"format": CHECKPOINT_FORMAT, "program": program_digest,
+         "every": every, "warm": warm},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """One-JSON-file-per-train store under a directory."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.ckpt.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """Load a train payload: ``{"total_instructions": int,
+        "checkpoints": [ArchCheckpoint, ...]}``; None on miss/corrupt."""
+        try:
+            payload = json.loads(self.path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("format") != CHECKPOINT_FORMAT:
+            return None
+        try:
+            checkpoints = [ArchCheckpoint.from_dict(entry)
+                           for entry in payload["checkpoints"]]
+            total = int(payload["total_instructions"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return {"total_instructions": total, "checkpoints": checkpoints}
+
+    def store(self, key: str, checkpoints: List[ArchCheckpoint],
+              total_instructions: int) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self.path(key)
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "total_instructions": total_instructions,
+            "checkpoints": [ckpt.to_dict() for ckpt in checkpoints],
+        }
+        tmp = final.with_name(
+            f"{final.name}.tmp.{os.getpid()}.{os.urandom(6).hex()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(final)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise

@@ -57,6 +57,16 @@ cache (default ``.repro_cache/``), and ``--no-cache`` disables it.
 ``run`` can additionally export a sampled pipetrace:
 ``--epoch-cycles N --trace-out FILE`` writes per-epoch snapshots
 (occupancy, stall breakdown, violation/replay rates) as JSON Lines.
+
+``run BENCHMARK --sample-intervals K`` switches to *sampled mode*:
+instead of simulating every instruction in detail, the run
+fast-forwards through the in-order interpreter (checkpointing as it
+goes) and simulates K detailed intervals of ``--warmup-insts`` warm-up
+(counters discarded) plus ``--interval-insts`` measured instructions,
+reporting the per-interval IPC mean with a 95% confidence interval.
+``--checkpoint-every C`` tunes the capture stride.  See DESIGN.md
+"Sampling methodology" for the error model and when exact mode is
+required.
 """
 
 from __future__ import annotations
@@ -169,6 +179,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           "cycles (requires --trace-out)")
     run.add_argument("--trace-out", default=None, metavar="FILE",
                      help="write epoch snapshots as JSON Lines to FILE")
+    run.add_argument("--sample-intervals", type=int, default=None,
+                     metavar="K",
+                     help="sampled mode: fast-forward via checkpoints "
+                          "and measure K detailed intervals instead of "
+                          "simulating every instruction (reports IPC "
+                          "mean with a confidence interval)")
+    run.add_argument("--warmup-insts", type=int, default=1_000,
+                     metavar="W",
+                     help="sampled mode: detailed warm-up instructions "
+                          "per interval, counters discarded "
+                          "(default 1000)")
+    run.add_argument("--interval-insts", type=int, default=5_000,
+                     metavar="L",
+                     help="sampled mode: measured instructions per "
+                          "interval (default 5000)")
+    run.add_argument("--checkpoint-every", type=int, default=None,
+                     metavar="C",
+                     help="sampled mode: capture a checkpoint every C "
+                          "fast-forwarded instructions (default: one "
+                          "window, warm-up + interval)")
     _add_engine_flags(run)
     _add_output_flags(run)
 
@@ -317,6 +347,8 @@ def _cmd_run(args) -> int:
         return _cmd_run_litmus(args)
     if args.cores > 1:
         return _cmd_run_multicore(args)
+    if args.sample_intervals:
+        return _cmd_run_sampled(args)
     record = api.simulate(args.benchmark, args.config,
                           runner=_build_runner(args))
     if args.epoch_cycles or args.trace_out:
@@ -337,10 +369,47 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_run_sampled(args) -> int:
+    """``run BENCHMARK --sample-intervals K``: checkpointed
+    fast-forward with K detailed measurement intervals."""
+    if args.epoch_cycles or args.trace_out:
+        print("pipetrace export (--epoch-cycles/--trace-out) requires "
+              "exact mode; drop --sample-intervals", file=sys.stderr)
+        return 2
+    record = api.simulate_sampled(
+        args.benchmark, args.config, intervals=args.sample_intervals,
+        warmup_insts=args.warmup_insts,
+        interval_insts=args.interval_insts,
+        checkpoint_every=args.checkpoint_every,
+        runner=_build_runner(args))
+    if args.format == "json":
+        _emit(record.to_json(indent=2), args)
+        return 0
+    info = record.sampling or {}
+    lines = [
+        f"{args.benchmark} on {record.config_name} "
+        f"(scale {args.scale}, sampled)",
+        f"  IPC: {record.ipc:.4f} +/- {info.get('ipc_ci95', 0.0):.4f} "
+        f"(95% CI over {len(info.get('intervals', []))} intervals)",
+        f"  program: {info.get('total_instructions', 0)} insts; "
+        f"detailed: {info.get('detailed_instructions', 0)} "
+        f"({info.get('warmup_insts', 0)} warm-up + "
+        f"{info.get('interval_insts', 0)} measured per interval)",
+        f"  measured spans: {record.instructions} insts in "
+        f"{record.cycles} cycles",
+    ]
+    _emit("\n".join(lines), args)
+    return 0
+
+
 def _require_no_trace_flags(args) -> bool:
     if args.epoch_cycles or args.trace_out:
         print("pipetrace export (--epoch-cycles/--trace-out) is "
               "single-core only; drop --cores", file=sys.stderr)
+        return False
+    if getattr(args, "sample_intervals", None):
+        print("sampled mode (--sample-intervals) is single-core "
+              "benchmark only; drop --cores", file=sys.stderr)
         return False
     return True
 

@@ -70,6 +70,8 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..checkpoint.sampling import sample_run
+from ..checkpoint.store import CheckpointStore
 from ..isa.interp import RetireRecord, run_program
 from ..isa.program import Program
 from ..obs.runrecord import (
@@ -114,10 +116,20 @@ DEFAULT_MAX_POOL_REBUILDS = 6
 #: concurrent writer and are left alone.
 STALE_TEMP_SECONDS = 3600.0
 
+#: Conservative floor on the effective age for *timed* temp sweeps.  A
+#: caller asking for a shorter horizon still only sweeps temps at least
+#: this old: cross-host caches see each other's clocks, and mtimes can
+#: jump under clock adjustment, so a "fresh" temp another writer is
+#: mid-way through must never be swept by an age heuristic.  Explicit
+#: remove-everything sweeps (``max_age <= 0``, e.g. :meth:`ResultCache.
+#: gc`) bypass the floor.
+MIN_STALE_TEMP_SECONDS = 300.0
+
 _CRASH_ERROR = "worker process crashed (BrokenProcessPool)"
 
 
-def cache_key(benchmark: str, scale: int, config) -> str:
+def cache_key(benchmark: str, scale: int, config,
+              sampling: Optional[dict] = None) -> str:
     """Content hash identifying one grid cell.
 
     The hash covers the benchmark name, the scale, the cache format
@@ -128,13 +140,18 @@ def cache_key(benchmark: str, scale: int, config) -> str:
     a :class:`~repro.pipeline.config.SystemConfig` for multicore ones
     (whose dict nests the core config, so the two namespaces can never
     collide).
+
+    ``sampling`` (the sampled-mode parameter dict) is folded in only
+    when present, so every pre-existing exact-mode key is byte-stable
+    and sampled cells can never collide with exact cells.
     """
     payload = config.to_dict()
     payload.pop("name", None)
-    canonical = json.dumps(
-        {"format": CACHE_FORMAT, "benchmark": benchmark, "scale": scale,
-         "config": payload},
-        sort_keys=True, separators=(",", ":"))
+    body = {"format": CACHE_FORMAT, "benchmark": benchmark,
+            "scale": scale, "config": payload}
+    if sampling is not None:
+        body["sampling"] = sampling
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -187,16 +204,30 @@ class ResultCache:
     def sweep_stale_temps(self,
                           max_age: float = STALE_TEMP_SECONDS) -> int:
         """Delete ``*.tmp.*`` files older than ``max_age`` seconds
-        (orphans of crashed writers); returns the number removed."""
+        (orphans of crashed writers); returns the number removed.
+
+        Timed sweeps (``max_age > 0``) are defensive about clocks: a
+        temp whose mtime lies in the *future* (clock adjustment, or a
+        cross-host cache whose writer's clock runs ahead) gets a clamped
+        age of zero -- it reads as brand new, never as ancient -- and
+        the effective horizon is floored at ``MIN_STALE_TEMP_SECONDS``
+        so a concurrent writer's seconds-old temp cannot be swept
+        mid-write by an aggressive caller.  ``max_age <= 0`` is the
+        explicit remove-everything form (used by :meth:`gc`) and skips
+        both protections.
+        """
         removed = 0
         now = time.time()
+        effective = max(max_age, MIN_STALE_TEMP_SECONDS) \
+            if max_age > 0 else 0.0
         try:
             candidates = list(self.directory.glob("*.tmp.*"))
         except OSError:
             return 0
         for tmp in candidates:
             try:
-                if now - tmp.stat().st_mtime >= max_age:
+                age = max(0.0, now - tmp.stat().st_mtime)
+                if age >= effective:
                     tmp.unlink()
                     removed += 1
             except OSError:
@@ -226,6 +257,37 @@ class ResultCache:
                 except OSError:
                     continue
         return removed
+
+
+class _MemoCheckpointStore:
+    """In-process memo over an optional on-disk
+    :class:`~repro.checkpoint.store.CheckpointStore`.
+
+    Grid cells sharing a benchmark fast-forward once per *process* even
+    with the disk cache disabled, and the disk train is deserialized at
+    most once per process when it is enabled.
+    """
+
+    def __init__(self, inner: Optional[CheckpointStore]):
+        self.inner = inner
+        self._memo: Dict[str, dict] = {}
+
+    def load(self, key: str) -> Optional[dict]:
+        train = self._memo.get(key)
+        if train is not None:
+            return train
+        if self.inner is None:
+            return None
+        train = self.inner.load(key)
+        if train is not None:
+            self._memo[key] = train
+        return train
+
+    def store(self, key: str, checkpoints, total_instructions: int) -> None:
+        self._memo[key] = {"total_instructions": total_instructions,
+                           "checkpoints": list(checkpoints)}
+        if self.inner is not None:
+            self.inner.store(key, checkpoints, total_instructions)
 
 
 def _simulate_cell(program: Program, trace: List[RetireRecord],
@@ -320,6 +382,11 @@ class ExperimentRunner:
         self.manifest: List[dict] = []
         self._programs: Dict[str, Program] = {}
         self._traces: Dict[str, List[RetireRecord]] = {}
+        #: Checkpoint trains for sampled mode, memoized in-process and
+        #: (when the result cache is enabled) persisted next to it.
+        self._checkpoints = _MemoCheckpointStore(
+            CheckpointStore(self.cache.directory / "checkpoints")
+            if self.cache else None)
         #: Injection points for failure testing: the per-cell worker
         #: function (must stay picklable) and the pool constructor.
         self._cell_fn = _simulate_cell
@@ -390,6 +457,52 @@ class ExperimentRunner:
                 self.cache.store(key, payload)
         self._record(benchmark, config, payload, key, hit,
                      cores=config.cores)
+        return self.last_record()
+
+    def run_sampled(self, benchmark: str, config: ProcessorConfig, *,
+                    intervals: int = 10, warmup_insts: int = 1_000,
+                    interval_insts: int = 5_000,
+                    checkpoint_every: Optional[int] = None,
+                    warm: bool = True) -> RunRecord:
+        """Sampled simulation of one cell: checkpointed fast-forward
+        with ``intervals`` detailed windows (see
+        :func:`repro.checkpoint.sampling.sample_run`).
+
+        The record's ``ipc`` is the per-interval mean; its ``sampling``
+        block carries the confidence interval and the interval table.
+        Sampled cells get their own cache keys (the sampling parameters
+        are folded into the key), so they can never shadow or be
+        shadowed by exact-mode entries, and the checkpoint train is
+        shared content-addressed across every config of a benchmark.
+        """
+        params = {"intervals": intervals, "warmup_insts": warmup_insts,
+                  "interval_insts": interval_insts,
+                  "checkpoint_every": checkpoint_every or 0,
+                  "warm": warm}
+        key = cache_key(benchmark, self.scale, config, sampling=params)
+        payload = self.cache.load(key) if self.cache else None
+        hit = payload is not None
+        if payload is None:
+            program = self.program(benchmark)
+            started = time.perf_counter()
+            sampled = sample_run(
+                program, config, intervals=intervals,
+                warmup_insts=warmup_insts, interval_insts=interval_insts,
+                checkpoint_every=checkpoint_every, warm=warm,
+                store=self._checkpoints, limit=TRACE_LIMIT)
+            payload = {
+                "format": CACHE_FORMAT,
+                "program_name": program.name,
+                "cycles": sampled.cycles,
+                "instructions": sampled.instructions,
+                "counters": dict(sampled.counters),
+                "wall_time": time.perf_counter() - started,
+                "sampling": sampled.sampling_dict(),
+            }
+            if self.cache:
+                self.cache.store(key, payload)
+        self._record(benchmark, config, payload, key, hit,
+                     sampling=payload.get("sampling"))
         return self.last_record()
 
     # ------------------------------------------------------------ grids
@@ -755,9 +868,16 @@ class ExperimentRunner:
     def _record(self, benchmark: str, config,
                 payload: dict, key: str, hit: bool,
                 jobs: Optional[int] = None, attempts: int = 1,
-                cores: int = 1) -> None:
+                cores: int = 1, sampling: Optional[dict] = None) -> None:
         cycles = payload["cycles"]
         instructions = payload["instructions"]
+        if sampling is not None:
+            # Sampled cell: the headline IPC is the per-interval mean
+            # (the estimator the confidence interval is stated for),
+            # not the ratio of summed measured spans.
+            ipc = sampling["ipc_mean"]
+        else:
+            ipc = instructions / cycles if cycles else 0.0
         record = RunRecord(
             benchmark=benchmark,
             config_name=config.name,
@@ -766,14 +886,15 @@ class ExperimentRunner:
             key=key,
             cycles=cycles,
             instructions=instructions,
-            ipc=instructions / cycles if cycles else 0.0,
+            ipc=ipc,
             counters=dict(payload["counters"]),
             wall_time=payload["wall_time"],
             cache_hit=hit,
             engine=self._engine_provenance(jobs),
             status=STATUS_OK,
             attempts=attempts,
-            cores=cores)
+            cores=cores,
+            sampling=sampling)
         entry = record.to_dict()
         self.manifest.append(entry)
         if self.verbose:

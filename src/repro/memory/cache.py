@@ -108,6 +108,25 @@ class Cache:
         for ways in self._sets:
             ways.clear()
 
+    # -- warm-state capsules -------------------------------------------------
+
+    def export_lines(self) -> List[List[int]]:
+        """Snapshot the tag arrays (per-set LRU-ordered line lists) for a
+        checkpoint warm capsule.  Access statistics are excluded: a
+        restored cache starts counting from zero so a sampled interval's
+        miss rates cover only the interval itself."""
+        return [list(ways) for ways in self._sets]
+
+    def import_lines(self, sets: List[List[int]]) -> None:
+        """Restore tag arrays from :meth:`export_lines` output."""
+        if len(sets) != len(self._sets):
+            raise ValueError(
+                f"warm capsule has {len(sets)} sets; this cache has "
+                f"{len(self._sets)} (geometry mismatch)")
+        assoc = self.config.assoc
+        for index, ways in enumerate(sets):
+            self._sets[index] = list(ways)[-assoc:]
+
     @property
     def hits(self) -> int:
         return self.accesses - self.misses
@@ -169,6 +188,18 @@ class CacheHierarchy:
         if not self.l2.lookup(addr):
             latency += self._l2_penalty
         return latency
+
+    def export_state(self) -> Dict[str, List[List[int]]]:
+        """Warm capsule of every level's tag arrays (no statistics)."""
+        return {"l1i": self.l1i.export_lines(),
+                "l1d": self.l1d.export_lines(),
+                "l2": self.l2.export_lines()}
+
+    def import_state(self, state: Dict[str, List[List[int]]]) -> None:
+        """Restore every level's tag arrays from :meth:`export_state`."""
+        self.l1i.import_lines(state["l1i"])
+        self.l1d.import_lines(state["l1d"])
+        self.l2.import_lines(state["l2"])
 
     def stats(self) -> Dict[str, float]:
         """Hit/miss counts for every level, keyed for the report."""

@@ -89,6 +89,36 @@ class MainMemory:
                         for idx, page in self._pages.items()}
         return clone
 
+    def page_delta(self, base: "MainMemory") -> Dict[int, bytes]:
+        """Pages of this image that differ from ``base``, keyed by page
+        index.
+
+        A page present here but absent (or all-zero) in ``base`` counts
+        as different only if it has nonzero content; pages of ``base``
+        that this image never touched are never reported (reads of
+        untouched addresses return zero either way).  The result is the
+        compact serialization unit of an architectural checkpoint: the
+        program image is reconstructible from the program itself, so only
+        the delta needs to travel.
+        """
+        delta: Dict[int, bytes] = {}
+        zero_page = bytes(PAGE_SIZE)
+        for idx, page in self._pages.items():
+            other = base._pages.get(idx)
+            reference = bytes(other) if other is not None else zero_page
+            if bytes(page) != reference:
+                delta[idx] = bytes(page)
+        return delta
+
+    def apply_page_delta(self, delta: Dict[int, bytes]) -> None:
+        """Overwrite whole pages from a :meth:`page_delta` map."""
+        for idx, payload in delta.items():
+            if len(payload) != PAGE_SIZE:
+                raise ValueError(
+                    f"page delta for index {idx} has {len(payload)} "
+                    f"bytes; expected {PAGE_SIZE}")
+            self._pages[idx] = bytearray(payload)
+
     def touched_pages(self) -> Iterable[Tuple[int, bytes]]:
         """Yield ``(base_address, contents)`` for every allocated page."""
         for idx in sorted(self._pages):

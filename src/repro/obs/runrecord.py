@@ -127,6 +127,11 @@ def validate_record(payload: dict) -> None:
                 not isinstance(value, (int, float)):
             raise SchemaError(f"counter {name!r} must map a string to "
                               f"a number")
+    if "sampling" in payload and \
+            not isinstance(payload["sampling"], dict):
+        raise SchemaError(
+            f"record field 'sampling' must be a dict when present, got "
+            f"{type(payload['sampling']).__name__}")
 
 
 class RunRecord:
@@ -135,14 +140,15 @@ class RunRecord:
     __slots__ = ("benchmark", "config_name", "config", "scale", "key",
                  "cycles", "instructions", "ipc", "counters", "wall_time",
                  "cache_hit", "engine", "status", "attempts", "error",
-                 "cores")
+                 "cores", "sampling")
 
     def __init__(self, benchmark: str, config_name: str, config: dict,
                  scale: int, key: str, cycles: int, instructions: int,
                  ipc: float, counters: Dict[str, float],
                  wall_time: float = 0.0, cache_hit: bool = False,
                  engine: Optional[dict] = None, status: str = STATUS_OK,
-                 attempts: int = 1, error: str = "", cores: int = 1):
+                 attempts: int = 1, error: str = "", cores: int = 1,
+                 sampling: Optional[dict] = None):
         self.benchmark = benchmark
         self.config_name = config_name
         self.config = config
@@ -159,6 +165,11 @@ class RunRecord:
         self.attempts = attempts
         self.error = error
         self.cores = cores
+        # Sampled-mode metadata (IPC mean/CI, interval table); None for
+        # exact-mode records, and serialized only when present so exact
+        # records -- and the manifest digest over them -- stay
+        # byte-identical.
+        self.sampling = sampling
 
     # -- alternate constructors ------------------------------------------------
 
@@ -179,7 +190,8 @@ class RunRecord:
                    status=payload["status"],
                    attempts=payload["attempts"],
                    error=payload["error"],
-                   cores=payload.get("cores", 1))
+                   cores=payload.get("cores", 1),
+                   sampling=payload.get("sampling"))
 
     @classmethod
     def from_sim_result(cls, result, benchmark: Optional[str] = None,
@@ -270,6 +282,11 @@ class RunRecord:
             # serializing as v2 byte-for-byte (digest/golden stability).
             payload["schema_version"] = SCHEMA_VERSION_MULTICORE
             payload["cores"] = self.cores
+        if self.sampling is not None:
+            # Optional block, same pattern as ``cores``: exact-mode
+            # records never emit the key, so their bytes (and the
+            # manifest digest) are unchanged by the sampling feature.
+            payload["sampling"] = self.sampling
         return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -58,13 +58,19 @@ class ThroughputSample:
 
 
 class ThroughputReport:
-    """Aggregate of one timed sweep over a simulation grid."""
+    """Aggregate of one timed sweep over a simulation grid.
+
+    ``cache_hits`` is the number of timed cells that were served from
+    the result cache and must always be zero: a cache lookup's wall
+    time is not simulation throughput (see ``measure_throughput``).
+    """
 
     def __init__(self, samples: List[ThroughputSample], scale: int,
-                 manifest_digest: str):
+                 manifest_digest: str, cache_hits: int = 0):
         self.samples = samples
         self.scale = scale
         self.manifest_digest = manifest_digest
+        self.cache_hits = cache_hits
 
     @property
     def total_instructions(self) -> int:
@@ -172,23 +178,154 @@ def measure_throughput(benchmarks: Sequence[str],
                        scale: int = 4000,
                        runner: Optional[ExperimentRunner] = None
                        ) -> ThroughputReport:
-    """Time every grid cell, single-process and uncached.
+    """Time every grid cell, single-process and always cache-bypassed.
 
     Caching and worker pools are disabled by default so the numbers
-    measure the simulator itself, not the engine's memoization.
+    measure the simulator itself, not the engine's memoization.  When a
+    caller supplies its own cache-enabled runner, the cache is bypassed
+    for the duration of the timed loop (and restored afterwards): a
+    cell served from ``.repro_cache/`` would otherwise report the wall
+    time of a JSON read as simulated instructions per second.  The
+    report asserts that zero timed cells were cache hits.
     """
     if runner is None:
         runner = ExperimentRunner(scale=scale, jobs=1, use_cache=False)
     samples = []
-    for benchmark, config in _grid(benchmarks, configs):
-        start = time.perf_counter()
-        result = runner.run(benchmark, config)
-        wall = time.perf_counter() - start
-        samples.append(ThroughputSample(
-            benchmark, config.name, result.instructions, result.cycles,
-            wall))
+    manifest_start = len(runner.manifest)
+    saved_cache = runner.cache
+    runner.cache = None
+    try:
+        for benchmark, config in _grid(benchmarks, configs):
+            start = time.perf_counter()
+            result = runner.run(benchmark, config)
+            wall = time.perf_counter() - start
+            samples.append(ThroughputSample(
+                benchmark, config.name, result.instructions,
+                result.cycles, wall))
+    finally:
+        runner.cache = saved_cache
+    timed = runner.manifest[manifest_start:]
+    cache_hits = sum(1 for entry in timed if entry["cache_hit"])
+    assert cache_hits == 0, (
+        f"{cache_hits} timed cell(s) were served from the result "
+        f"cache; throughput numbers would measure cache lookups")
     return ThroughputReport(samples, runner.scale,
-                            manifest_digest(runner.manifest))
+                            manifest_digest(runner.manifest),
+                            cache_hits=cache_hits)
+
+
+class SamplingSample:
+    """Sampled-vs-full comparison of one (benchmark, config) cell."""
+
+    __slots__ = ("benchmark", "config_name", "total_instructions",
+                 "full_ipc", "full_wall", "sampled_ipc", "sampled_ci",
+                 "sampled_wall", "intervals")
+
+    def __init__(self, benchmark: str, config_name: str,
+                 total_instructions: int, full_ipc: float,
+                 full_wall: float, sampled_ipc: float, sampled_ci: float,
+                 sampled_wall: float, intervals: int):
+        self.benchmark = benchmark
+        self.config_name = config_name
+        self.total_instructions = total_instructions
+        self.full_ipc = full_ipc
+        self.full_wall = full_wall
+        self.sampled_ipc = sampled_ipc
+        self.sampled_ci = sampled_ci
+        self.sampled_wall = sampled_wall
+        self.intervals = intervals
+
+    @property
+    def speedup(self) -> float:
+        return self.full_wall / self.sampled_wall \
+            if self.sampled_wall else 0.0
+
+    @property
+    def ipc_error(self) -> float:
+        return abs(self.sampled_ipc - self.full_ipc)
+
+    @property
+    def within_ci(self) -> bool:
+        """True iff the full-run IPC lies inside the sampled CI."""
+        return self.ipc_error <= self.sampled_ci
+
+
+class SamplingReport:
+    """Aggregate of one sampled-vs-full validation sweep."""
+
+    def __init__(self, samples: List[SamplingSample], scale: int,
+                 warmup_insts: int, interval_insts: int):
+        self.samples = samples
+        self.scale = scale
+        self.warmup_insts = warmup_insts
+        self.interval_insts = interval_insts
+
+    @property
+    def all_within_ci(self) -> bool:
+        return all(s.within_ci for s in self.samples)
+
+    @property
+    def min_speedup(self) -> float:
+        return min((s.speedup for s in self.samples), default=0.0)
+
+    def format(self) -> str:
+        lines = [
+            f"{'benchmark':<10} {'insts':>9} {'full IPC':>8} "
+            f"{'sampled':>8} {'+/-CI':>7} {'err':>7} {'K':>3} "
+            f"{'full(s)':>8} {'smpl(s)':>8} {'speedup':>8} {'ok':>3}",
+        ]
+        for s in self.samples:
+            lines.append(
+                f"{s.benchmark:<10} {s.total_instructions:>9d} "
+                f"{s.full_ipc:>8.4f} {s.sampled_ipc:>8.4f} "
+                f"{s.sampled_ci:>7.4f} {s.ipc_error:>7.4f} "
+                f"{s.intervals:>3d} {s.full_wall:>8.2f} "
+                f"{s.sampled_wall:>8.2f} {s.speedup:>7.1f}x "
+                f"{'ok' if s.within_ci else 'MISS':>4}")
+        lines += [
+            "",
+            f"warm-up {self.warmup_insts} + interval "
+            f"{self.interval_insts} insts per window; min speedup "
+            f"{self.min_speedup:.1f}x; "
+            f"{'every' if self.all_within_ci else 'NOT every'} sampled "
+            f"IPC within its reported CI of the full-run value",
+        ]
+        return "\n".join(lines)
+
+
+def measure_sampling(benchmarks: Sequence[str], config: ProcessorConfig,
+                     scale: int, intervals: int = 10,
+                     warmup_insts: int = 1_000,
+                     interval_insts: int = 5_000) -> SamplingReport:
+    """Validate sampled mode against full detailed simulation.
+
+    For each benchmark at ``scale``, runs the full detailed simulation
+    and a sampled run (both timed, both uncached so wall times measure
+    simulation), and reports per-benchmark speedup plus whether the
+    sampled IPC's confidence interval covers the full-run IPC.
+    """
+    runner = ExperimentRunner(scale=scale, jobs=1, use_cache=False)
+    samples = []
+    for benchmark in benchmarks:
+        start = time.perf_counter()
+        sampled = runner.run_sampled(
+            benchmark, config, intervals=intervals,
+            warmup_insts=warmup_insts, interval_insts=interval_insts)
+        sampled_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        full = runner.run(benchmark, config)
+        full_wall = time.perf_counter() - start
+        info = sampled.sampling or {}
+        samples.append(SamplingSample(
+            benchmark, config.name,
+            total_instructions=info.get("total_instructions",
+                                        full.instructions),
+            full_ipc=full.ipc, full_wall=full_wall,
+            sampled_ipc=sampled.ipc,
+            sampled_ci=info.get("ipc_ci95", 0.0),
+            sampled_wall=sampled_wall,
+            intervals=len(info.get("intervals", []))))
+    return SamplingReport(samples, scale, warmup_insts, interval_insts)
 
 
 def profile_suite(benchmarks: Sequence[str],
@@ -201,11 +338,18 @@ def profile_suite(benchmarks: Sequence[str],
         runner = ExperimentRunner(scale=scale, jobs=1, use_cache=False)
     cells = _grid(benchmarks, configs)
     profile = cProfile.Profile()
+    # Same cache bypass as measure_throughput: profiling a JSON read
+    # says nothing about the simulator's hot functions.
+    saved_cache = runner.cache
+    runner.cache = None
     start = time.perf_counter()
     profile.enable()
-    results = [runner.run(benchmark, config)
-               for benchmark, config in cells]
-    profile.disable()
+    try:
+        results = [runner.run(benchmark, config)
+                   for benchmark, config in cells]
+    finally:
+        profile.disable()
+        runner.cache = saved_cache
     total_seconds = time.perf_counter() - start
     total_instructions = sum(r.instructions for r in results)
 

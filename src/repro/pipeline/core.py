@@ -163,6 +163,16 @@ class Core:
     load returns relative to its single-threaded golden trace).
     ``idle_skip=False`` disables the guaranteed-idle clock fast-forward
     so lockstepped cores keep identical cycle counts.
+
+    Checkpoint restore (see :mod:`repro.checkpoint`): ``start_pc`` and
+    ``start_regs`` begin detailed simulation mid-program from a
+    fast-forwarded architectural state instead of from reset.  The
+    supplied ``trace`` must then be the golden *suffix* starting at
+    ``start_pc`` (record 0 is the first instruction this core retires),
+    and ``memory`` the checkpoint's restored image.  ``warm_state``
+    optionally pre-loads trained branch-predictor state and cache tag
+    arrays from a checkpoint's warm capsule (``{"bpred": ...,
+    "caches": ...}``); statistics always start from zero.
     """
 
     def __init__(self, program: Program, config: ProcessorConfig,
@@ -171,7 +181,9 @@ class Core:
                  memory: Optional[MainMemory] = None,
                  hierarchy: Optional[CacheHierarchy] = None,
                  core_id: int = 0, validate: bool = True,
-                 idle_skip: bool = True):
+                 idle_skip: bool = True, start_pc: int = 0,
+                 start_regs: Optional[List[int]] = None,
+                 warm_state: Optional[dict] = None):
         self.program = program
         self.config = config
         self.trace = trace if trace is not None \
@@ -224,11 +236,28 @@ class Core:
         # Fetch state: ``_fetch_trace_index >= 0`` means fetch is on the
         # architecturally correct path and the next instruction fetched is
         # ``trace[_fetch_trace_index]``.
-        self._fetch_pc: Optional[int] = 0
+        self._fetch_pc: Optional[int] = start_pc
         self._fetch_trace_index = 0
         self._fetch_stall_until = 0
         self._fetch_progress = False
         self._last_evictions = 0
+
+        # Checkpoint restore: seed the architectural register values into
+        # the identity-mapped rename table (arch i -> phys i at reset) and
+        # optionally pre-warm predictor/cache state.  r0 stays hardwired
+        # zero.  Defaults (pc 0, no regs, no warm state) leave a
+        # from-reset core bit-identical to before this feature existed.
+        if start_regs is not None:
+            values = self.rename.values
+            for arch in range(1, ops.NUM_REGS):
+                values[arch] = start_regs[arch] & MASK64
+        if warm_state is not None:
+            bpred_state = warm_state.get("bpred")
+            if bpred_state is not None:
+                self.bpred.import_state(bpred_state)
+            cache_state = warm_state.get("caches")
+            if cache_state is not None:
+                self.hierarchy.import_state(cache_state)
 
     # ------------------------------------------------------------------ run
 
@@ -243,6 +272,21 @@ class Core:
                     f"rob head={self.rob[0] if self.rob else None})")
             self.step()
         return self.finalize()
+
+    def run_until(self, retired_target: int) -> None:
+        """Step cycles until ``retired_target`` instructions have retired
+        (or the program halts).  The sampling engine uses this to split a
+        detailed window into a discarded warm-up span and a measured
+        span; call :meth:`finalize` (or read counters directly) after the
+        last window."""
+        max_cycles = self.config.max_cycles
+        while not self.done and self.retired < retired_target:
+            if self.cycle > max_cycles:
+                raise SimulationError(
+                    f"exceeded {max_cycles} cycles "
+                    f"({self.retired}/{len(self.trace)} retired; "
+                    f"rob head={self.rob[0] if self.rob else None})")
+            self.step()
 
     def finalize(self) -> SimResult:
         """Snapshot end-of-run gauges and wrap up the result.

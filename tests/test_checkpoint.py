@@ -1,0 +1,352 @@
+"""Tests for the checkpoint subsystem (repro.checkpoint).
+
+The headline properties, checked with hypothesis over random programs:
+
+* ``fast_forward`` is architecturally identical to stepping -- same
+  registers, PC, retire count, and memory digest at any cut point k;
+* checkpoint-at-k + resume reproduces the full run exactly -- the
+  resumed retire trace equals the full trace's suffix and the final
+  memory digest matches, for k at block boundaries and mid-loop;
+* the detailed pipeline restored from a checkpoint retires exactly the
+  golden suffix and converges to the same final memory image.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import (
+    ArchCheckpoint,
+    CheckpointStore,
+    capture_train,
+    select_checkpoints,
+    train_key,
+)
+from repro.harness.configs import (
+    baseline_lsq_config,
+    baseline_sfc_mdt_config,
+)
+from repro.isa.interp import Interpreter
+from repro.memory.main_memory import MainMemory
+from repro.pipeline.core import Core
+from repro.workloads import random_program
+from repro.workloads import suites
+
+_SLOW = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+_RECORD_FIELDS = ("index", "pc", "op", "rd", "dest_value", "store_addr",
+                  "store_size", "store_data", "next_pc", "taken")
+
+
+def _record_tuple(record):
+    return tuple(getattr(record, field) for field in _RECORD_FIELDS)
+
+
+def _full_run(program):
+    interp = Interpreter(program)
+    trace = interp.run(500_000)
+    return trace, interp
+
+
+def _base_image(program):
+    memory = MainMemory()
+    memory.load_segments(program.data)
+    return memory
+
+
+class TestFastForward:
+    """fast_forward == step, architecturally, at every cut point."""
+
+    @_SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           frac=st.floats(min_value=0.0, max_value=1.0))
+    def test_matches_stepping(self, seed, frac):
+        program = random_program(seed)
+        trace, golden = _full_run(program)
+        k = int(frac * len(trace))
+        ff = Interpreter(program)
+        executed = ff.fast_forward(k)
+        assert executed == k
+        assert ff.instructions_retired == k
+        stepped = Interpreter(program)
+        for _ in range(k):
+            stepped.step()
+        assert ff.pc == stepped.pc
+        assert ff.regs == stepped.regs
+        assert ff.halted == stepped.halted
+        assert ff.memory.digest() == stepped.memory.digest()
+
+    def test_runs_to_halt_and_stops(self):
+        program = random_program(3)
+        trace, golden = _full_run(program)
+        interp = Interpreter(program)
+        executed = interp.fast_forward(10 ** 9)
+        assert executed == len(trace)
+        assert interp.halted
+        assert interp.memory.digest() == golden.memory.digest()
+        assert interp.fast_forward(10) == 0
+
+    def test_warm_training_does_not_change_architecture(self):
+        from repro.branch.gshare import GsharePredictor
+        from repro.memory.cache import paper_hierarchy
+
+        program = random_program(11)
+        cold = Interpreter(program)
+        cold.fast_forward(10 ** 9)
+        warm = Interpreter(program)
+        bpred = GsharePredictor()
+        hierarchy = paper_hierarchy()
+        warm.fast_forward(10 ** 9, bpred=bpred, hierarchy=hierarchy)
+        assert warm.pc == cold.pc
+        assert warm.regs == cold.regs
+        assert warm.memory.digest() == cold.memory.digest()
+        assert hierarchy.l1i.accesses > 0
+
+
+class TestInterpreterRoundTrip:
+    """Full run == fast-forward-to-k + checkpoint + resume, exactly."""
+
+    @_SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           frac=st.floats(min_value=0.0, max_value=1.0))
+    def test_mid_run_checkpoint_resume(self, seed, frac):
+        program = random_program(seed)
+        trace, golden = _full_run(program)
+        # Arbitrary k lands mid-loop as often as on block boundaries;
+        # both matter (mid-loop state has live loop-carried registers).
+        k = int(frac * len(trace))
+        interp = Interpreter(program)
+        interp.fast_forward(k)
+        ckpt = ArchCheckpoint.capture(interp, _base_image(program))
+        resumed = ckpt.resume_interpreter(program)
+        assert resumed.instructions_retired == k
+        suffix = resumed.run(500_000)
+        assert [_record_tuple(r) for r in suffix] == \
+            [_record_tuple(r) for r in trace[k:]]
+        assert resumed.memory.digest() == golden.memory.digest()
+
+    @_SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           frac=st.floats(min_value=0.0, max_value=1.0))
+    def test_serialized_checkpoint_resumes_identically(self, seed, frac):
+        program = random_program(seed)
+        trace, golden = _full_run(program)
+        k = int(frac * len(trace))
+        interp = Interpreter(program)
+        interp.fast_forward(k)
+        ckpt = ArchCheckpoint.capture(interp, _base_image(program))
+        clone = ArchCheckpoint.from_dict(ckpt.to_dict())
+        assert clone.regs == ckpt.regs
+        assert clone.pages == ckpt.pages
+        assert clone.pc == ckpt.pc and clone.retired == ckpt.retired
+        resumed = clone.resume_interpreter(program)
+        resumed.run(500_000)
+        assert resumed.memory.digest() == golden.memory.digest()
+
+    def test_block_boundary_checkpoints(self):
+        """k at every captured block boundary of a real kernel."""
+        program = suites.build("gzip", 2_000)
+        trace, golden = _full_run(program)
+        checkpoints, total = capture_train(program, every=500, warm=False)
+        assert total == len(trace)
+        assert [c.retired for c in checkpoints] == \
+            list(range(0, ((total - 1) // 500) * 500 + 1, 500))
+        for ckpt in checkpoints[::2]:
+            resumed = ckpt.resume_interpreter(program)
+            suffix = resumed.run(500_000)
+            assert len(suffix) == total - ckpt.retired
+            assert resumed.memory.digest() == golden.memory.digest()
+
+    def test_checkpoint_rejects_wrong_program(self):
+        program = random_program(5)
+        other = random_program(6)
+        interp = Interpreter(program)
+        interp.fast_forward(10)
+        ckpt = ArchCheckpoint.capture(interp, _base_image(program))
+        with pytest.raises(ValueError, match="digest"):
+            ckpt.restore_memory(other)
+
+
+class TestCoreRestore:
+    """The detailed pipeline picks up from a checkpoint exactly."""
+
+    @pytest.mark.parametrize("config_fn", [baseline_lsq_config,
+                                           baseline_sfc_mdt_config])
+    def test_resumed_core_retires_suffix(self, config_fn):
+        program = suites.build("gzip", 3_000)
+        trace, golden = _full_run(program)
+        checkpoints, total = capture_train(program, every=1_000,
+                                           warm=True)
+        ckpt = checkpoints[2]
+        resumed = ckpt.resume_interpreter(program)
+        resumed.instructions_retired = 0  # suffix records index from 0
+        suffix = resumed.run(500_000)
+        memory = ckpt.restore_memory(program)
+        core = Core(program, config_fn(), trace=suffix, memory=memory,
+                    start_pc=ckpt.pc, start_regs=ckpt.regs,
+                    warm_state=ckpt.warm)
+        core.run()
+        assert core.retired == total - ckpt.retired
+        assert memory.digest() == golden.memory.digest()
+
+    def test_from_reset_defaults_unchanged(self):
+        """start_pc=0/start_regs=None is bit-identical to the old
+        constructor: same cycles, same counters."""
+        program = suites.build("gzip", 1_500)
+        trace, _ = _full_run(program)
+        plain = Core(program, baseline_sfc_mdt_config(), trace=trace)
+        plain_result = plain.run()
+        restored = Core(program, baseline_sfc_mdt_config(), trace=trace,
+                        start_pc=0, start_regs=None, warm_state=None)
+        restored_result = restored.run()
+        assert restored_result.cycles == plain_result.cycles
+        assert restored_result.counters.as_dict() == \
+            plain_result.counters.as_dict()
+
+
+class TestTrainAndStore:
+    def test_thinning_caps_train_length(self):
+        program = suites.build("gzip", 3_000)
+        checkpoints, total = capture_train(program, every=10, warm=False,
+                                           max_checkpoints=16)
+        assert len(checkpoints) <= 16
+        positions = [c.retired for c in checkpoints]
+        assert positions == sorted(positions)
+        assert positions[0] == 0
+
+    def test_select_checkpoints_spacing(self):
+        program = suites.build("gzip", 2_000)
+        checkpoints, total = capture_train(program, every=200, warm=False)
+        picked = select_checkpoints(checkpoints, total, intervals=4,
+                                    window=300)
+        assert 1 <= len(picked) <= 4
+        positions = [c.retired for c in picked]
+        assert positions == sorted(set(positions))
+        assert all(p + 300 <= total for p in positions)
+
+    def test_select_degenerates_to_start_when_program_short(self):
+        program = suites.build("gzip", 2_000)
+        checkpoints, total = capture_train(program, every=500, warm=False)
+        picked = select_checkpoints(checkpoints, total, intervals=3,
+                                    window=total + 1)
+        assert [c.retired for c in picked] == [0]
+
+    def test_store_round_trip(self, tmp_path):
+        program = suites.build("gzip", 2_000)
+        checkpoints, total = capture_train(program, every=700, warm=True)
+        store = CheckpointStore(tmp_path)
+        key = train_key(program.digest(), 700, True)
+        assert store.load(key) is None
+        store.store(key, checkpoints, total)
+        train = store.load(key)
+        assert train["total_instructions"] == total
+        assert len(train["checkpoints"]) == len(checkpoints)
+        reloaded = train["checkpoints"][1]
+        assert reloaded.retired == checkpoints[1].retired
+        assert reloaded.regs == checkpoints[1].regs
+        assert reloaded.pages == checkpoints[1].pages
+        assert reloaded.warm == checkpoints[1].warm
+
+    def test_store_corrupt_reads_as_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path("bad").parent.mkdir(parents=True, exist_ok=True)
+        store.path("bad").write_text("{not json")
+        assert store.load("bad") is None
+
+
+class TestWarmCapsules:
+    def test_gshare_export_import_round_trip(self):
+        from repro.branch.gshare import GsharePredictor
+
+        trained = GsharePredictor()
+        for pc in range(0, 400, 4):
+            taken = (pc // 4) % 3 == 0
+            trained.update(pc, taken, trained.predict(pc))
+        trained.update_indirect(64, 1024)
+        fresh = GsharePredictor()
+        fresh.import_state(trained.export_state())
+        assert fresh._counters == trained._counters
+        assert fresh._history == trained._history
+        assert fresh.predict_indirect(64) == 1024
+        assert fresh.predictions == 0  # stats start from zero
+
+    def test_gshare_import_rejects_geometry_mismatch(self):
+        from repro.branch.gshare import GsharePredictor
+
+        small = GsharePredictor(table_bits=4)
+        big = GsharePredictor()
+        with pytest.raises(ValueError, match="counters"):
+            big.import_state(small.export_state())
+
+    def test_hierarchy_export_import_round_trip(self):
+        from repro.memory.cache import paper_hierarchy
+
+        warm = paper_hierarchy()
+        for addr in range(0, 1 << 14, 64):
+            warm.data_latency(addr)
+            warm.inst_latency(addr)
+        cold = paper_hierarchy()
+        cold.import_state(warm.export_state())
+        assert cold.l1d.export_lines() == warm.l1d.export_lines()
+        assert cold.l2.export_lines() == warm.l2.export_lines()
+        assert cold.l1d.accesses == 0  # stats start from zero
+
+    def test_cache_import_rejects_set_mismatch(self):
+        from repro.memory.cache import Cache, CacheConfig
+
+        a = Cache(CacheConfig("a", 1024, 2, 64, 1, 10))
+        b = Cache(CacheConfig("b", 2048, 2, 64, 1, 10))
+        with pytest.raises(ValueError, match="sets"):
+            b.import_lines(a.export_lines())
+
+
+class TestMemoryPageDelta:
+    def test_delta_and_apply_round_trip(self):
+        base = MainMemory()
+        base.write_bytes(0x1000, b"hello")
+        modified = base.copy()
+        modified.write_bytes(0x1002, b"XY")
+        modified.write_bytes(0x40_0000, b"far away")
+        delta = modified.page_delta(base)
+        assert set(delta) == {0x1, 0x400}
+        restored = base.copy()
+        restored.apply_page_delta(delta)
+        assert restored.digest() == modified.digest()
+
+    def test_untouched_and_zero_pages_not_in_delta(self):
+        base = MainMemory()
+        base.write_bytes(0x1000, b"data")
+        same = base.copy()
+        same.read_bytes(0x9000, 8)  # reads allocate nothing
+        same.write_bytes(0x5000, b"\x00\x00")  # zero write == absent
+        assert same.page_delta(base) == {}
+
+    def test_apply_rejects_partial_page(self):
+        with pytest.raises(ValueError, match="bytes"):
+            MainMemory().apply_page_delta({0: b"short"})
+
+
+class TestInterpreterLoadSegments:
+    """Regression: handing the Interpreter an existing memory must not
+    re-stamp the program image over caller-owned state."""
+
+    def test_load_segments_false_preserves_caller_memory(self):
+        program = suites.build("gzip", 1_000)
+        data_addr = min(program.data)
+        memory = MainMemory()
+        memory.load_segments(program.data)
+        memory.write_bytes(data_addr, b"\xde\xad\xbe\xef")
+        Interpreter(program, memory=memory, load_segments=False)
+        assert memory.read_bytes(data_addr, 4) == b"\xde\xad\xbe\xef"
+
+    def test_default_still_stamps_image(self):
+        program = suites.build("gzip", 1_000)
+        data_addr = min(program.data)
+        expected = bytes(program.data[data_addr][:4])
+        memory = MainMemory()
+        memory.write_bytes(data_addr, b"\xde\xad\xbe\xef")
+        Interpreter(program, memory=memory)
+        assert memory.read_bytes(data_addr, 4) == expected

@@ -146,6 +146,55 @@ class TestResultCache:
         assert not stale.exists(), "hour-old orphan temp must be swept"
         assert fresh.exists(), "a concurrent writer's temp must survive"
 
+    def test_future_mtime_temp_survives_timed_sweep(self, tmp_path):
+        """Regression: a temp whose mtime lies in the future (clock
+        skew across hosts sharing a cache dir) used to compute a huge
+        *negative* age that compared as stale under unsigned handling
+        variants -- it must read as brand new instead."""
+        cache = ResultCache(tmp_path)
+        skewed = tmp_path / ("c" * 64 + ".json.tmp.999.0ddba11")
+        skewed.write_text("{")
+        ahead = time.time() + 86_400
+        os.utime(skewed, (ahead, ahead))
+        removed = cache.sweep_stale_temps()
+        assert removed == 0
+        assert skewed.exists(), \
+            "future-dated temp must be treated as age zero, not stale"
+
+    def test_timed_sweep_floors_aggressive_max_age(self, tmp_path):
+        """Regression: callers passing a tiny max_age could sweep a
+        concurrent writer's seconds-old temp mid-write.  Timed sweeps
+        floor the horizon at MIN_STALE_TEMP_SECONDS."""
+        from repro.harness.experiment import MIN_STALE_TEMP_SECONDS
+
+        cache = ResultCache(tmp_path)
+        young = tmp_path / ("d" * 64 + ".json.tmp.999.aa")
+        young.write_text("{")
+        recent = time.time() - 10
+        os.utime(young, (recent, recent))
+        old = tmp_path / ("e" * 64 + ".json.tmp.999.bb")
+        old.write_text("{")
+        past = time.time() - (MIN_STALE_TEMP_SECONDS + 300)
+        os.utime(old, (past, past))
+        removed = cache.sweep_stale_temps(max_age=1.0)
+        assert removed == 1
+        assert young.exists(), \
+            "sub-floor max_age must not sweep a seconds-old temp"
+        assert not old.exists()
+
+    def test_gc_removes_fresh_and_future_temps(self, tmp_path):
+        """gc() is the explicit remove-everything form: the clamp and
+        floor protections must not apply to it."""
+        cache = ResultCache(tmp_path)
+        fresh = tmp_path / ("f" * 64 + ".json.tmp.999.cc")
+        fresh.write_text("")
+        skewed = tmp_path / ("a" * 63 + "b.json.tmp.999.dd")
+        skewed.write_text("")
+        ahead = time.time() + 86_400
+        os.utime(skewed, (ahead, ahead))
+        assert cache.gc() == 2
+        assert not fresh.exists() and not skewed.exists()
+
     def test_gc_drops_unreadable_and_foreign_entries(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.store("good", {"format": 1, "cycles": 7})

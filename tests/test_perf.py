@@ -62,6 +62,21 @@ class TestMeasureThroughput:
         cells = {(s.benchmark, s.config_name) for s in report.samples}
         assert len(cells) == 4
 
+    def test_timed_cells_bypass_result_cache(self, tmp_path):
+        """Regression: a pre-warmed result cache used to serve timing
+        cells as ~instant cache hits, inflating reported simulator
+        throughput by orders of magnitude.  measure_throughput must
+        re-simulate every cell and prove it via cache_hits == 0."""
+        runner = ExperimentRunner(scale=800, cache_dir=tmp_path)
+        runner.run("gzip", baseline_lsq_config())  # warm the cache
+        report = perf.measure_throughput(
+            ["gzip"], [baseline_lsq_config()], scale=800, runner=runner)
+        assert report.cache_hits == 0
+        timed = runner.manifest[1:]
+        assert timed and all(not entry["cache_hit"] for entry in timed)
+        assert runner.cache is not None, \
+            "the runner's cache must be restored after measurement"
+
     def test_format_mentions_throughput_and_digest(self):
         report = perf.measure_throughput(
             ["gzip"], [baseline_lsq_config()], scale=600)
