@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""Regenerate the committed RV32 conformance corpus.
+
+Writes the ``.hex`` programs under ``src/repro/workloads/riscv/`` (the
+``riscv-conformance`` suite), the test fixture under
+``tests/data/riscv/``, and ``examples/hazard.hex``.  Every program is
+assembled here from explicit RV32 instructions via
+:func:`repro.isa.riscv.encode`, so the corpus is deterministic and
+re-runnable; each emitted word is decode/encode round-trip checked and
+each program is executed on the interpreter oracle before being
+written.
+
+Usage: ``PYTHONPATH=src python scripts/gen_riscv_corpus.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.isa.interp import Interpreter  # noqa: E402
+from repro.isa.program import Program  # noqa: E402
+from repro.isa.riscv import RVAssembler as RVAsm  # noqa: E402
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+CORPUS_DIR = os.path.join(REPO, "src", "repro", "workloads", "riscv")
+FIXTURE_DIR = os.path.join(REPO, "tests", "data", "riscv")
+EXAMPLES_DIR = os.path.join(REPO, "examples")
+
+
+# --- programs ---------------------------------------------------------------
+
+#: The synapse32 store-to-load hazard program (SNIPPETS.md snippet 1),
+#: ported verbatim: four same-address store->load pairs through x4's
+#: buffer at 0x10000000, with an ecall appended so the stream halts.
+STL_HAZARD_WORDS = [
+    0x10000237,  # lui   x4, 0x10000
+    0x00422023,  # sw    x4, 0(x4)     <- store/load same address
+    0x00022503,  # lw    x10, 0(x4)
+    0x08D00593,  # addi  x11, x0, 141
+    0x00B22223,  # sw    x11, 4(x4)
+    0x00422603,  # lw    x12, 4(x4)
+    0x00100693,  # addi  x13, x0, 1
+    0x00D22423,  # sw    x13, 8(x4)
+    0x00822703,  # lw    x14, 8(x4)
+    0x00170713,  # addi  x14, x14, 1
+    0x00200793,  # addi  x15, x0, 2
+    0x00F22623,  # sw    x15, 12(x4)
+    0x00C22803,  # lw    x16, 12(x4)
+    0x00180813,  # addi  x16, x16, 1
+    0x01022623,  # sw    x16, 12(x4)
+    0x00000013,  # nop
+    0x00000073,  # ecall (halt)
+]
+
+
+def build_stl_hazard():
+    return STL_HAZARD_WORDS
+
+
+def build_partial_overlap():
+    """Narrow stores under wide loads and wide stores under narrow
+    loads, at every byte offset -- the SFC partial-forwarding corner."""
+    a = RVAsm()
+    a.emit("lui", rd=1, imm=0x2000)        # x1 = 0x2000 buffer
+    a.emit("addi", rd=20, rs1=0, imm=0)    # x20 = checksum
+    # sw under lb/lbu at offsets 0..3 and lh/lhu at 0/2.
+    a.li32(2, 0xDEADBEEF)                  # x2 = 0xdeadbeef
+    a.emit("sw", rs1=1, rs2=2, imm=0)
+    for off in range(4):
+        a.emit("lb", rd=3, rs1=1, imm=off)
+        a.emit("add", rd=20, rs1=20, rs2=3)
+        a.emit("lbu", rd=3, rs1=1, imm=off)
+        a.emit("add", rd=20, rs1=20, rs2=3)
+    for off in (0, 2):
+        a.emit("lh", rd=3, rs1=1, imm=off)
+        a.emit("add", rd=20, rs1=20, rs2=3)
+        a.emit("lhu", rd=3, rs1=1, imm=off)
+        a.emit("add", rd=20, rs1=20, rs2=3)
+    # sb at each offset under a full-word lw.
+    a.emit("addi", rd=4, rs1=0, imm=0x51)
+    for off in range(4):
+        a.emit("sb", rs1=1, rs2=4, imm=8 + off)
+        a.emit("lw", rd=5, rs1=1, imm=8)
+        a.emit("add", rd=20, rs1=20, rs2=5)
+        a.emit("addi", rd=4, rs1=4, imm=0x11)
+    # sh at both halves under lw; then mixed sb+sh composition.
+    a.emit("addi", rd=6, rs1=0, imm=-2)          # 0xfffffffe
+    a.emit("sh", rs1=1, rs2=6, imm=16)
+    a.emit("lw", rd=7, rs1=1, imm=16)
+    a.emit("add", rd=20, rs1=20, rs2=7)
+    a.emit("sh", rs1=1, rs2=6, imm=18)
+    a.emit("lw", rd=7, rs1=1, imm=16)
+    a.emit("add", rd=20, rs1=20, rs2=7)
+    a.emit("sb", rs1=1, rs2=4, imm=17)
+    a.emit("lh", rd=8, rs1=1, imm=16)
+    a.emit("lhu", rd=9, rs1=1, imm=16)
+    a.emit("add", rd=20, rs1=20, rs2=8)
+    a.emit("add", rd=20, rs1=20, rs2=9)
+    a.emit("ecall")
+    return a.words()
+
+
+def build_load_use_chain():
+    """A pointer chase: build a linked list in memory, then walk it with
+    back-to-back dependent loads (load-use on the address register)."""
+    a = RVAsm()
+    a.emit("lui", rd=1, imm=0x3000)        # x1 = list head
+    a.emit("addi", rd=2, rs1=1, imm=0)     # x2 = node cursor
+    a.emit("addi", rd=3, rs1=0, imm=24)    # x3 = node count
+    a.label("build")
+    a.emit("addi", rd=4, rs1=2, imm=16)    # next node
+    a.emit("sw", rs1=2, rs2=4, imm=0)      # node.next = next
+    a.emit("sw", rs1=2, rs2=3, imm=4)      # node.value = countdown
+    a.emit("addi", rd=2, rs1=4, imm=0)
+    a.emit("addi", rd=3, rs1=3, imm=-1)
+    a.branch("bne", 3, 0, "build")
+    a.emit("sw", rs1=2, rs2=0, imm=0)      # terminate list
+    a.emit("sw", rs1=2, rs2=0, imm=4)
+    a.emit("addi", rd=2, rs1=1, imm=0)     # restart at head
+    a.emit("addi", rd=10, rs1=0, imm=0)    # x10 = sum of values
+    a.label("walk")
+    a.emit("lw", rd=5, rs1=2, imm=4)       # value
+    a.emit("add", rd=10, rs1=10, rs2=5)
+    a.emit("lw", rd=2, rs1=2, imm=0)       # load-use: next -> address
+    a.branch("bne", 2, 0, "walk")
+    a.emit("ecall")
+    return a.words()
+
+
+def build_alias_loop():
+    """Two differently computed base registers aliasing the same buffer;
+    the loop keeps a store->load dependence flowing through both."""
+    a = RVAsm()
+    a.emit("lui", rd=1, imm=0x4000)        # x1 = buffer
+    a.emit("addi", rd=2, rs1=1, imm=512)
+    a.emit("addi", rd=2, rs1=2, imm=-512)  # x2 aliases x1
+    a.emit("addi", rd=3, rs1=0, imm=0)     # x3 = i
+    a.emit("addi", rd=4, rs1=0, imm=32)    # x4 = trip count
+    a.emit("addi", rd=10, rs1=0, imm=1)    # x10 = running value
+    a.label("loop")
+    a.emit("slli", rd=5, rs1=3, imm=2)     # byte offset = 4*i
+    a.emit("add", rd=6, rs1=1, rs2=5)      # via x1
+    a.emit("add", rd=7, rs1=2, rs2=5)      # via x2 (same address)
+    a.emit("sw", rs1=6, rs2=10, imm=0)
+    a.emit("lw", rd=11, rs1=7, imm=0)      # aliased load
+    a.emit("add", rd=10, rs1=10, rs2=11)
+    a.emit("sw", rs1=7, rs2=10, imm=4)     # overlap into next slot
+    a.emit("lw", rd=12, rs1=6, imm=4)
+    a.emit("add", rd=10, rs1=10, rs2=12)
+    a.emit("addi", rd=3, rs1=3, imm=1)
+    a.branch("bne", 3, 4, "loop")
+    a.emit("ecall")
+    return a.words()
+
+
+def build_mixed_width():
+    """Mixed-width traffic plus the RV32 arithmetic corners (shift
+    masking, division edge cases, unsigned compares) flowing through
+    memory so every subsystem sees the values."""
+    a = RVAsm()
+    a.emit("lui", rd=1, imm=0x5000)
+    # INT_MIN, -1, and friends via memory round-trips.
+    a.emit("lui", rd=2, imm=-(1 << 31) & 0xFFFFF000)     # x2 = 0x80000000
+    a.emit("sw", rs1=1, rs2=2, imm=0)
+    a.emit("lw", rd=3, rs1=1, imm=0)
+    a.emit("addi", rd=4, rs1=0, imm=-1)
+    a.emit("div", rd=5, rs1=3, rs2=4)      # INT_MIN / -1 -> INT_MIN
+    a.emit("rem", rd=6, rs1=3, rs2=4)      # INT_MIN % -1 -> 0
+    a.emit("div", rd=7, rs1=3, rs2=0)      # div by zero -> -1
+    a.emit("divu", rd=8, rs1=3, rs2=0)     # divu by zero -> 2**32-1
+    a.emit("rem", rd=9, rs1=3, rs2=0)      # rem by zero -> dividend
+    a.emit("sw", rs1=1, rs2=5, imm=4)
+    a.emit("sw", rs1=1, rs2=7, imm=8)
+    a.emit("sw", rs1=1, rs2=8, imm=12)
+    a.emit("sw", rs1=1, rs2=9, imm=16)
+    # Shift-amount masking: shifts use only the low 5 bits of rs2.
+    a.emit("addi", rd=10, rs1=0, imm=33)
+    a.emit("addi", rd=11, rs1=0, imm=7)
+    a.emit("sll", rd=12, rs1=11, rs2=10)   # 7 << (33 & 31) = 14
+    a.emit("srl", rd=13, rs1=2, rs2=10)    # unsigned >> 1
+    a.emit("sra", rd=14, rs1=2, rs2=10)    # signed >> 1
+    a.emit("sw", rs1=1, rs2=12, imm=20)
+    a.emit("sw", rs1=1, rs2=13, imm=24)
+    a.emit("sw", rs1=1, rs2=14, imm=28)
+    # Unsigned comparison of "negative" values.
+    a.emit("sltu", rd=15, rs1=11, rs2=2)   # 7 < 0x80000000 unsigned -> 1
+    a.emit("sltiu", rd=16, rs1=2, imm=-1)  # 0x80000000 < 0xffffffff -> 1
+    a.emit("slt", rd=17, rs1=2, rs2=11)    # INT_MIN < 7 signed -> 1
+    a.emit("sb", rs1=1, rs2=15, imm=32)
+    a.emit("sb", rs1=1, rs2=16, imm=33)
+    a.emit("sb", rs1=1, rs2=17, imm=34)
+    a.emit("sb", rs1=1, rs2=4, imm=35)     # 0xff byte
+    a.emit("lw", rd=18, rs1=1, imm=32)     # reassemble the four bytes
+    # Narrow signed reloads of wide negative data.
+    a.emit("lb", rd=19, rs1=1, imm=3)      # top byte of 0x80000000 -> -128
+    a.emit("lh", rd=20, rs1=1, imm=2)      # top half -> -32768
+    a.emit("lhu", rd=21, rs1=1, imm=2)     # zero-extended half
+    a.emit("mulh", rd=22, rs1=3, rs2=4)    # high word of INT_MIN * -1
+    a.emit("mulhu", rd=23, rs1=3, rs2=4)
+    a.emit("mulhsu", rd=24, rs1=3, rs2=4)
+    a.emit("ecall")
+    return a.words()
+
+
+def build_auipc_jalr():
+    """PC-relative addressing and an indirect call/return pair: auipc
+    materialises a code address, jalr calls through it and returns."""
+    a = RVAsm()
+    a.emit("lui", rd=1, imm=0x6000)
+    a.emit("auipc", rd=2, imm=0)           # x2 = pc of this instruction
+    a.emit("addi", rd=10, rs1=0, imm=5)
+    a.jal(5, "func")                       # x5 = return address
+    a.emit("sw", rs1=1, rs2=10, imm=0)     # store f(5)
+    a.emit("addi", rd=10, rs1=10, imm=100)
+    a.jal(5, "func")
+    a.emit("sw", rs1=1, rs2=10, imm=4)
+    a.emit("lw", rd=11, rs1=1, imm=0)
+    a.emit("lw", rd=12, rs1=1, imm=4)
+    a.emit("add", rd=13, rs1=11, rs2=12)
+    a.emit("ecall")
+    a.label("func")                        # f(x10) = 3*x10 + 1, ret via x5
+    a.emit("slli", rd=6, rs1=10, imm=1)
+    a.emit("add", rd=10, rs1=10, rs2=6)
+    a.emit("addi", rd=10, rs1=10, imm=1)
+    a.emit("jalr", rd=0, rs1=5, imm=0)     # return
+    return a.words()
+
+
+CORPUS = {
+    "stl_hazard": build_stl_hazard,
+    "partial_overlap": build_partial_overlap,
+    "load_use_chain": build_load_use_chain,
+    "alias_loop": build_alias_loop,
+    "mixed_width": build_mixed_width,
+    "auipc_jalr": build_auipc_jalr,
+}
+
+#: Final architectural register values the synapse32 program must
+#: produce (from the upstream testbench): x10 = the stored base address,
+#: x12 = 141, x14 = 1+1, x16 = 2+1.
+STL_HAZARD_EXPECTED = {"x4": 0x10000000, "x10": 0x10000000, "x12": 141,
+                       "x13": 1, "x14": 2, "x15": 2, "x16": 3}
+
+
+def write_hex(path, words, title):
+    lines = [f"# {title}", "# generated by scripts/gen_riscv_corpus.py"]
+    prog = Program.from_riscv(words, name=os.path.basename(path))
+    for word, inst in zip(words, prog.instructions):
+        lines.append(f"{word:08x}  # {inst!r}")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return prog
+
+
+def main():
+    os.makedirs(CORPUS_DIR, exist_ok=True)
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    os.makedirs(EXAMPLES_DIR, exist_ok=True)
+    for name, builder in sorted(CORPUS.items()):
+        words = builder()
+        path = os.path.join(CORPUS_DIR, f"{name}.hex")
+        prog = write_hex(path, words, f"riscv-conformance: {name}")
+        interp = Interpreter(prog)
+        trace = interp.run(max_instructions=200_000)
+        print(f"{name}: {len(words)} words, {len(trace)} retired, "
+              f"digest {prog.digest()[:12]}")
+
+    # Test fixture: the hazard program plus its expected registers.
+    fixture = os.path.join(FIXTURE_DIR, "stl_hazard.hex")
+    prog = write_hex(fixture, STL_HAZARD_WORDS,
+                     "synapse32 store-to-load hazard program")
+    interp = Interpreter(prog)
+    interp.run()
+    for reg, want in STL_HAZARD_EXPECTED.items():
+        got = interp.regs[int(reg[1:])]
+        assert got == want, f"{reg}: got {got:#x}, want {want:#x}"
+    with open(os.path.join(FIXTURE_DIR, "stl_hazard_expected.json"),
+              "w") as fh:
+        json.dump(STL_HAZARD_EXPECTED, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    # README quickstart example.
+    write_hex(os.path.join(EXAMPLES_DIR, "hazard.hex"), STL_HAZARD_WORDS,
+              "store-to-load hazard demo (try: repro run --riscv "
+              "examples/hazard.hex)")
+    print("corpus written")
+
+
+if __name__ == "__main__":
+    main()

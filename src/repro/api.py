@@ -24,9 +24,18 @@ or ``repro.harness`` internals:
   snapshots) for time-series analysis;
 * :func:`fuzz` -- a differential fuzz campaign cross-checking every
   memory subsystem against the interpreter oracle
-  (:class:`~repro.verify.fuzzer.FuzzReport`);
+  (:class:`~repro.verify.fuzzer.FuzzReport`); seeds round-robin across
+  every registered program frontend (native generator, RV32);
+* :func:`simulate_riscv` -- load a real RV32 image (``.hex`` text, raw
+  binary, or word list) through the :mod:`repro.isa.riscv` frontend and
+  simulate it golden-trace-checked against the interpreter oracle;
+* :func:`run_riscv_conformance` -- execute the committed RV32 corpus on
+  the oracle and on every configuration of the differential matrix,
+  asserting identical final register/memory digests
+  (:class:`~repro.verify.conformance.ConformanceReport`);
 * :func:`list_benchmarks` / :func:`list_configs` / :func:`list_figures`
-  -- the name spaces the other calls accept.
+  / :func:`list_suites` / :func:`list_frontends` -- the name spaces the
+  other calls accept.
 
 Example::
 
@@ -105,6 +114,18 @@ def list_litmus_tests() -> List[str]:
 def list_configs() -> List[str]:
     """Named configuration presets."""
     return sorted(CONFIGS)
+
+
+def list_suites() -> List[str]:
+    """Declared benchmark suites (``repro suite --suite NAME``)."""
+    return suites.suite_names()
+
+
+def list_frontends() -> List[str]:
+    """Registered program frontends (all fuzzed by default)."""
+    from .verify import frontend_names
+
+    return frontend_names()
 
 
 def list_figures() -> List[str]:
@@ -302,6 +323,54 @@ def fuzz(iterations: Optional[int] = None,
                       corpus_dir=corpus_dir, minimize=minimize)
 
 
+def simulate_riscv(source, config: ConfigLike = "baseline-sfc-mdt",
+                   name: Optional[str] = None,
+                   max_instructions: int = 2_000_000) -> RunRecord:
+    """Simulate one real RV32 program end to end.
+
+    ``source`` is anything the frontend loads: a ``.hex`` text file, a
+    raw little-endian binary image, or a list of 32-bit words.  The
+    program runs on the in-order interpreter first (the architectural
+    oracle), then on the pipeline with golden-trace validation against
+    that trace -- a divergence raises
+    :class:`~repro.pipeline.processor.SimulationError` rather than
+    returning a record.
+    """
+    from .isa.interp import Interpreter
+    from .isa.program import Program
+
+    program = Program.from_riscv(source, name=name)
+    resolved = resolve_config(config)
+    trace = Interpreter(program).run(max_instructions)
+    result = Processor(program, resolved, trace=trace).run()
+    return RunRecord(
+        benchmark=program.name, config_name=resolved.name,
+        config=resolved.to_dict(), scale=0, key="",
+        cycles=result.cycles, instructions=result.instructions,
+        ipc=result.instructions / result.cycles if result.cycles else 0.0,
+        counters=dict(result.counters.as_dict()))
+
+
+def run_riscv_conformance(suite: str = "riscv-conformance",
+                          configs: Optional[Sequence[ConfigLike]] = None):
+    """Run the RV32 conformance sweep; returns a
+    :class:`~repro.verify.conformance.ConformanceReport` whose ``.ok``
+    is True iff every (program, configuration) cell retires to the
+    oracle's exact register and memory digests.
+
+    ``configs=None`` uses the registry-covering differential matrix
+    (one configuration per registered memory subsystem); names are
+    resolved through :func:`resolve_config`.  The suite membership is
+    declared in :mod:`repro.workloads.suites` -- no cherry-picking.
+    """
+    from .verify import run_conformance
+
+    resolved = None
+    if configs is not None:
+        resolved = [resolve_config(config) for config in configs]
+    return run_conformance(suite_name=suite, configs=resolved)
+
+
 def replay_corpus(corpus_dir: str):
     """Replay every committed corpus case under ``corpus_dir``; returns
     a :class:`~repro.verify.corpus.ReplayReport` (``.ok`` iff every
@@ -336,13 +405,17 @@ __all__ = [
     "list_benchmarks",
     "list_configs",
     "list_figures",
+    "list_frontends",
     "list_litmus_tests",
+    "list_suites",
     "replay_corpus",
     "resolve_config",
     "run_figure",
     "run_litmus",
+    "run_riscv_conformance",
     "run_suite",
     "simulate",
+    "simulate_riscv",
     "simulate_sampled",
     "simulate_system",
     "trace",

@@ -13,6 +13,10 @@ Subcommands
     name (``litmus-mp``/``litmus-sb``/``litmus-lb``) runs its threads
     over shared memory and judges the observed outcome against the
     operational-model oracle (nonzero exit on a forbidden outcome).
+    ``run --riscv FILE`` loads a real RV32 image (``.hex`` text or raw
+    little-endian binary) through the RISC-V frontend instead of a
+    named benchmark, golden-trace-checked against the interpreter
+    oracle, e.g. ``repro run --riscv examples/hazard.hex``.
 ``compare BENCHMARK``
     Run one benchmark under several configurations side by side.
 ``figure NAME``
@@ -26,7 +30,14 @@ Subcommands
     missing/failed cells are simulated.  ``--timeout``/``--retries``
     tune the per-cell fault-tolerance knobs; ``--gc-cache`` sweeps
     unreadable/foreign-format cache entries first.  Exits nonzero when
-    any cell remains failed.
+    any cell remains failed.  ``--suite NAME`` runs a declared suite
+    (e.g. ``riscv-conformance``) instead of an explicit benchmark list.
+``conformance``
+    Execute every program of the ``riscv-conformance`` suite on the
+    interpreter oracle and on every configuration of the differential
+    matrix, asserting identical final register/memory digests;
+    ``--manifest FILE`` archives the per-cell RunRecords.  Exits
+    nonzero on any nonconforming cell.
 ``bench``
     Measure simulator throughput (instructions/sec); ``--profile`` adds
     the top-N hot functions from cProfile.
@@ -83,7 +94,9 @@ from .core import registry
 from .harness.experiment import ExperimentRunner
 from .obs.runrecord import SCHEMA_VERSION
 from .stats.report import format_report
-from .workloads import ALL_BENCHMARKS, litmus_benchmark_names
+from .workloads import (ALL_BENCHMARKS, RISCV_BENCHMARKS,
+                        litmus_benchmark_names, suite as workload_suite,
+                        suite_names)
 from .workloads.litmus import get_litmus, is_litmus
 
 _DEPRECATED_ATTRS = ("CONFIGS", "FIGURES")
@@ -159,9 +172,14 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_output_flags(list_cmd)
 
     run = sub.add_parser("run", help="simulate one benchmark")
-    run.add_argument("benchmark",
+    run.add_argument("benchmark", nargs="?", default=None,
                      choices=sorted(ALL_BENCHMARKS)
+                     + sorted(RISCV_BENCHMARKS)
                      + litmus_benchmark_names())
+    run.add_argument("--riscv", default=None, metavar="FILE",
+                     help="simulate a real RV32 image (.hex text or raw "
+                          "binary) through the RISC-V frontend instead "
+                          "of a named benchmark")
     run.add_argument("--config", default="baseline-sfc-mdt",
                      choices=sorted(api.CONFIGS))
     run.add_argument("--scale", type=int, default=20_000,
@@ -225,9 +243,16 @@ def _build_parser() -> argparse.ArgumentParser:
     suite = sub.add_parser(
         "suite", help="run a fault-tolerant, resumable (benchmark x "
                       "config) grid and archive its manifest")
-    suite.add_argument("--benchmarks", nargs="+",
-                       default=sorted(ALL_BENCHMARKS),
-                       choices=sorted(ALL_BENCHMARKS))
+    suite.add_argument("--benchmarks", nargs="+", default=None,
+                       choices=sorted(ALL_BENCHMARKS)
+                       + sorted(RISCV_BENCHMARKS),
+                       help="explicit benchmark list (default: every "
+                            "native benchmark; mutually exclusive with "
+                            "--suite)")
+    suite.add_argument("--suite", default=None, dest="suite_name",
+                       choices=suite_names(),
+                       help="run a declared suite instead of an "
+                            "explicit --benchmarks list")
     suite.add_argument("--configs", nargs="+",
                        default=sorted(api.CONFIGS),
                        choices=sorted(api.CONFIGS))
@@ -304,6 +329,23 @@ def _build_parser() -> argparse.ArgumentParser:
                            "generating new programs")
     _add_output_flags(fuzz)
 
+    conformance = sub.add_parser(
+        "conformance", help="run the RV32 conformance suite on the "
+                            "oracle and every subsystem configuration")
+    conformance.add_argument("--suite", default="riscv-conformance",
+                             dest="suite_name", choices=suite_names(),
+                             help="declared suite to sweep "
+                                  "(default riscv-conformance)")
+    conformance.add_argument("--configs", nargs="+", default=None,
+                             choices=sorted(api.CONFIGS),
+                             help="run only these presets instead of "
+                                  "the registry-covering default "
+                                  "matrix")
+    conformance.add_argument("--manifest", default=None, metavar="FILE",
+                             help="also archive the per-cell "
+                                  "RunRecords as a JSON manifest")
+    _add_output_flags(conformance)
+
     litmus = sub.add_parser(
         "litmus", help="run the litmus suite against the "
                        "operational-model oracle")
@@ -323,17 +365,26 @@ def _cmd_list(args) -> int:
     if args.format == "json":
         _emit(_envelope("list",
                         benchmarks=list(ALL_BENCHMARKS),
+                        riscv_benchmarks=sorted(RISCV_BENCHMARKS),
                         litmus_tests=litmus_benchmark_names(),
                         subsystems=list(registry.available()),
+                        frontends=api.list_frontends(),
+                        suites=suite_names(),
                         configurations=sorted(api.CONFIGS),
                         figures=sorted(api.FIGURES)), args)
         return 0
     lines = ["benchmarks:"]
     lines += [f"  {name}" for name in ALL_BENCHMARKS]
+    lines.append("\nriscv benchmarks:")
+    lines += [f"  {name}" for name in sorted(RISCV_BENCHMARKS)]
     lines.append("\nlitmus tests:")
     lines += [f"  {name}" for name in litmus_benchmark_names()]
     lines.append("\nsubsystems:")
     lines += [f"  {name}" for name in registry.available()]
+    lines.append("\nfrontends:")
+    lines += [f"  {name}" for name in api.list_frontends()]
+    lines.append("\nsuites:")
+    lines += [f"  {name}" for name in suite_names()]
     lines.append("\nconfigurations:")
     lines += [f"  {name}" for name in sorted(api.CONFIGS)]
     lines.append("\nfigures:")
@@ -343,6 +394,12 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.riscv is not None:
+        return _cmd_run_riscv(args)
+    if args.benchmark is None:
+        print("error: give a benchmark name or --riscv FILE",
+              file=sys.stderr)
+        return 2
     if is_litmus(args.benchmark):
         return _cmd_run_litmus(args)
     if args.cores > 1:
@@ -362,6 +419,32 @@ def _cmd_run(args) -> int:
         tracer.write_epochs(args.trace_out)
         print(f"wrote {len(tracer.epochs)} epoch snapshots to "
               f"{args.trace_out}", file=sys.stderr)
+    if args.format == "json":
+        _emit(record.to_json(indent=2), args)
+    else:
+        _emit(format_report(record), args)
+    return 0
+
+
+def _cmd_run_riscv(args) -> int:
+    """``run --riscv FILE``: a real RV32 image through the frontend."""
+    if args.benchmark is not None:
+        print("error: --riscv FILE replaces the benchmark name; give "
+              "one or the other", file=sys.stderr)
+        return 2
+    if args.cores > 1 or args.sample_intervals or args.epoch_cycles \
+            or args.trace_out:
+        print("error: --riscv runs single-core exact mode; drop "
+              "--cores/--sample-intervals/--epoch-cycles/--trace-out",
+              file=sys.stderr)
+        return 2
+    try:
+        record = api.simulate_riscv(args.riscv, args.config)
+    except (FileNotFoundError, ValueError) as exc:
+        # DecodeError subclasses ValueError: bad images exit with a
+        # message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.format == "json":
         _emit(record.to_json(indent=2), args)
     else:
@@ -531,6 +614,14 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_suite(args) -> int:
+    if args.suite_name and args.benchmarks:
+        print("error: --suite and --benchmarks are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.suite_name:
+        benchmarks = workload_suite(args.suite_name)
+    else:
+        benchmarks = args.benchmarks or sorted(ALL_BENCHMARKS)
     manifest_path = Path(args.manifest)
     if manifest_path.exists() and not args.resume:
         print(f"error: manifest {manifest_path} already exists; pass "
@@ -552,13 +643,14 @@ def _cmd_suite(args) -> int:
         print(f"cache gc: removed {removed} unreadable/stale files",
               file=sys.stderr)
     configs = [api.CONFIGS[name]() for name in args.configs]
-    runner.run_suite(args.benchmarks, configs)
+    runner.run_suite(benchmarks, configs)
     runner.write_manifest(manifest_path)
     failed = [entry for entry in runner.manifest
               if entry["status"] != "ok"]
     if args.format == "json":
         _emit(_envelope("suite", scale=args.scale,
-                        benchmarks=list(args.benchmarks),
+                        suite=args.suite_name,
+                        benchmarks=list(benchmarks),
                         configs=list(args.configs),
                         resumed=bool(args.resume),
                         cells=len(runner.manifest),
@@ -568,7 +660,7 @@ def _cmd_suite(args) -> int:
                         manifest=str(manifest_path),
                         runs=list(runner.manifest)), args)
     else:
-        lines = [f"suite: {len(args.benchmarks)} benchmarks x "
+        lines = [f"suite: {len(benchmarks)} benchmarks x "
                  f"{len(configs)} configs = {len(runner.manifest)} "
                  f"cells (scale {args.scale})",
                  f"  ok: {len(runner.manifest) - len(failed)} "
@@ -613,6 +705,27 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    report = api.run_riscv_conformance(suite=args.suite_name,
+                                       configs=args.configs)
+    if args.manifest:
+        from .verify import conformance_records
+
+        path = Path(args.manifest)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            [record.to_dict() for record in conformance_records(report)],
+            sort_keys=True, indent=2) + "\n")
+        print(f"wrote manifest {path}", file=sys.stderr)
+    if args.format == "json":
+        _emit(json.dumps(report.to_dict(), sort_keys=True, indent=2),
+              args)
+    else:
+        _emit(report.format(), args)
+    return 0 if report.ok else 1
+
+
 def _cmd_fuzz(args) -> int:
     if args.replay:
         if not args.corpus:
@@ -653,6 +766,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "conformance":
+            return _cmd_conformance(args)
         if args.command == "litmus":
             return _cmd_litmus(args)
     except OSError as exc:

@@ -18,6 +18,12 @@ from .instructions import (
     to_unsigned,
 )
 from .parser import AsmSyntaxError, parse_asm
+from .riscv import (
+    DecodeError,
+    RVInstruction,
+    UnsupportedInstructionError,
+    decode_word,
+)
 from .interp import (
     ExecutionLimitExceeded,
     Interpreter,
@@ -36,6 +42,7 @@ __all__ = [
     "AssemblyError",
     "BRANCH_OPS",
     "CONTROL_OPS",
+    "DecodeError",
     "ExecutionLimitExceeded",
     "INSTRUCTION_BYTES",
     "Instruction",
@@ -48,7 +55,10 @@ __all__ = [
     "OPCODE_NAMES",
     "Program",
     "RetireRecord",
+    "RVInstruction",
     "STORE_OPS",
+    "UnsupportedInstructionError",
+    "decode_word",
     "branch_taken",
     "parse_asm",
     "execute_op",

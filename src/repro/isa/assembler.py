@@ -165,6 +165,47 @@ class Assembler:
     def fdiv(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
         self._emit(ops.FDIV, rd, rs1, rs2)
 
+    # -- 32-bit ("W") reg-reg, RV32 semantics --------------------------------
+
+    def addw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.ADDW, rd, rs1, rs2)
+
+    def subw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SUBW, rd, rs1, rs2)
+
+    def sllw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SLLW, rd, rs1, rs2)
+
+    def srlw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SRLW, rd, rs1, rs2)
+
+    def sraw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.SRAW, rd, rs1, rs2)
+
+    def mulw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.MULW, rd, rs1, rs2)
+
+    def mulhw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.MULHW, rd, rs1, rs2)
+
+    def mulhsuw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.MULHSUW, rd, rs1, rs2)
+
+    def mulhuw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.MULHUW, rd, rs1, rs2)
+
+    def divw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.DIVW, rd, rs1, rs2)
+
+    def divuw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.DIVUW, rd, rs1, rs2)
+
+    def remw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.REMW, rd, rs1, rs2)
+
+    def remuw(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(ops.REMUW, rd, rs1, rs2)
+
     # -- ALU reg-imm ----------------------------------------------------------
 
     def addi(self, rd: Reg, rs1: Reg, imm: int) -> None:
@@ -193,6 +234,21 @@ class Assembler:
 
     def li(self, rd: Reg, imm: int) -> None:
         self._emit(ops.LI, rd, imm=imm)
+
+    def addiw(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.ADDIW, rd, rs1, imm=imm)
+
+    def slliw(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.SLLIW, rd, rs1, imm=imm)
+
+    def srliw(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.SRLIW, rd, rs1, imm=imm)
+
+    def sraiw(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.SRAIW, rd, rs1, imm=imm)
+
+    def sltiu(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(ops.SLTIU, rd, rs1, imm=imm)
 
     def mov(self, rd: Reg, rs1: Reg) -> None:
         """Pseudo-instruction: ``add rd, rs1, r0``."""
@@ -264,6 +320,10 @@ class Assembler:
 
     def jr(self, rs1: Reg) -> None:
         self._emit(ops.JR, 0, rs1)
+
+    def jalr(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        """Indirect jump-and-link: ``rd <- pc+4, pc <- (base+offset) & ~1``."""
+        self._emit(ops.JALR, rd, base, imm=offset)
 
     def halt(self) -> None:
         self._emit(ops.HALT)

@@ -37,8 +37,18 @@ LB, LBU, LH, LHU, LW, LWU, LD = range(26, 33)
 SB, SH, SW, SD = range(33, 37)
 # Control
 BEQ, BNE, BLT, BGE, BLTU, BGEU, J, JAL, JR, HALT, NOP = range(37, 48)
+# 32-bit ("W") operations with RV32 semantics, used by the RISC-V frontend
+# (repro.isa.riscv).  Invariant: a W-op destination always holds the 64-bit
+# sign-extension of its 32-bit result, so 64-bit SLT/SLTU/branches compare
+# 32-bit values correctly.  Appended after the original opcode space so the
+# existing opcode numbering (and the pinned result digests) are untouched.
+ADDW, SUBW, SLLW, SRLW, SRAW = range(48, 53)
+ADDIW, SLLIW, SRLIW, SRAIW, SLTIU = range(53, 58)
+MULW, MULHW, MULHSUW, MULHUW, DIVW, DIVUW, REMW, REMUW = range(58, 66)
+# Indirect jump-and-link: rd <- pc+4, pc <- (rs1 + imm) & ~1.
+JALR = 66
 
-NUM_OPCODES = 48
+NUM_OPCODES = 67
 
 OPCODE_NAMES = {
     ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
@@ -52,14 +62,27 @@ OPCODE_NAMES = {
     SB: "sb", SH: "sh", SW: "sw", SD: "sd",
     BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu",
     BGEU: "bgeu", J: "j", JAL: "jal", JR: "jr", HALT: "halt", NOP: "nop",
+    ADDW: "addw", SUBW: "subw", SLLW: "sllw", SRLW: "srlw", SRAW: "sraw",
+    ADDIW: "addiw", SLLIW: "slliw", SRLIW: "srliw", SRAIW: "sraiw",
+    SLTIU: "sltiu",
+    MULW: "mulw", MULHW: "mulhw", MULHSUW: "mulhsuw", MULHUW: "mulhuw",
+    DIVW: "divw", DIVUW: "divuw", REMW: "remw", REMUW: "remuw",
+    JALR: "jalr",
 }
 
 LOAD_OPS = frozenset({LB, LBU, LH, LHU, LW, LWU, LD})
 STORE_OPS = frozenset({SB, SH, SW, SD})
 MEM_OPS = LOAD_OPS | STORE_OPS
 BRANCH_OPS = frozenset({BEQ, BNE, BLT, BGE, BLTU, BGEU})
-JUMP_OPS = frozenset({J, JAL, JR})
+JUMP_OPS = frozenset({J, JAL, JR, JALR})
 CONTROL_OPS = BRANCH_OPS | JUMP_OPS
+
+#: W-class reg-reg ops (two register sources, one destination).
+W_RRR_OPS = frozenset({ADDW, SUBW, SLLW, SRLW, SRAW,
+                       MULW, MULHW, MULHSUW, MULHUW,
+                       DIVW, DIVUW, REMW, REMUW})
+#: W-class reg-imm ops (one register source, one immediate, one destination).
+W_RRI_OPS = frozenset({ADDIW, SLLIW, SRLIW, SRAIW, SLTIU})
 
 #: Number of bytes accessed by each memory opcode.
 ACCESS_SIZE = {
@@ -70,7 +93,9 @@ ACCESS_SIZE = {
 #: Execution latency class for each opcode (cycles in the function unit).
 #: Matches common superscalar models: single-cycle integer ALU, pipelined
 #: multi-cycle multiply and FP, long divide.
-OP_LATENCY = {MUL: 3, DIV: 12, REM: 12, FADD: 4, FSUB: 4, FMUL: 4, FDIV: 12}
+OP_LATENCY = {MUL: 3, DIV: 12, REM: 12, FADD: 4, FSUB: 4, FMUL: 4, FDIV: 12,
+              MULW: 3, MULHW: 3, MULHSUW: 3, MULHUW: 3,
+              DIVW: 12, DIVUW: 12, REMW: 12, REMUW: 12}
 DEFAULT_LATENCY = 1
 
 
@@ -148,10 +173,12 @@ class Instruction:
             return f"{name} r{self.rd}, {self.imm:#x}"
         if op == JR:
             return f"{name} r{self.rs1}"
+        if op == JALR:
+            return f"{name} r{self.rd}, {self.imm}(r{self.rs1})"
         if op in (HALT, NOP):
             return name
         if op == LI:
             return f"{name} r{self.rd}, {self.imm:#x}"
-        if ADDI <= op <= SRAI:
+        if ADDI <= op <= SRAI or op in W_RRI_OPS:
             return f"{name} r{self.rd}, r{self.rs1}, {self.imm}"
         return f"{name} r{self.rd}, r{self.rs1}, r{self.rs2}"

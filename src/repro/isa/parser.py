@@ -42,9 +42,13 @@ _MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
 
 #: mnemonics taking ``rd, rs1, rs2``
 _RRR = {"add", "sub", "and", "or", "xor", "slt", "sltu", "sll", "srl",
-        "sra", "mul", "div", "rem", "fadd", "fsub", "fmul", "fdiv"}
+        "sra", "mul", "div", "rem", "fadd", "fsub", "fmul", "fdiv",
+        "addw", "subw", "sllw", "srlw", "sraw",
+        "mulw", "mulhw", "mulhsuw", "mulhuw",
+        "divw", "divuw", "remw", "remuw"}
 #: mnemonics taking ``rd, rs1, imm``
-_RRI = {"addi", "andi", "ori", "xori", "slti", "slli", "srli", "srai"}
+_RRI = {"addi", "andi", "ori", "xori", "slti", "slli", "srli", "srai",
+        "addiw", "slliw", "srliw", "sraiw", "sltiu"}
 #: loads: ``rd, offset(base)``
 _LOADS = {"lb", "lbu", "lh", "lhu", "lw", "lwu", "ld"}
 #: stores: ``src, offset(base)``
@@ -178,6 +182,10 @@ def parse_asm(text: str, name: str = "program") -> Program:
             elif mnemonic == "jr":
                 need(1)
                 asm.jr(operands[0])
+            elif mnemonic == "jalr":
+                need(2)
+                offset, base = mem_operand(operands[1])
+                asm.jalr(operands[0], base, offset)
             elif mnemonic == "nop":
                 need(0)
                 asm.nop()

@@ -37,6 +37,14 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
+    @classmethod
+    def from_riscv(cls, source, name: Optional[str] = None) -> "Program":
+        """Load RV32 machine code (path to a ``.hex``/binary image, raw
+        bytes, or an iterable of 32-bit words) and translate it to an
+        executable internal-ISA program.  See :mod:`repro.isa.riscv`."""
+        from .riscv import load_program  # local import: avoid a cycle
+        return load_program(source, name=name)
+
     def fetch(self, pc: int) -> Instruction:
         """Return the instruction at byte address ``pc``.
 

@@ -103,14 +103,14 @@ _USES_RS2 = frozenset(
     {ops.ADD, ops.SUB, ops.AND, ops.OR, ops.XOR, ops.SLT, ops.SLTU,
      ops.SLL, ops.SRL, ops.SRA, ops.MUL, ops.DIV, ops.REM,
      ops.FADD, ops.FSUB, ops.FMUL, ops.FDIV}
-    | ops.BRANCH_OPS | ops.STORE_OPS)
+    | ops.BRANCH_OPS | ops.STORE_OPS | ops.W_RRR_OPS)
 _NO_RS1 = frozenset({ops.J, ops.JAL, ops.LI, ops.NOP, ops.HALT})
 _HAS_DEST = frozenset(
     {ops.ADD, ops.SUB, ops.AND, ops.OR, ops.XOR, ops.SLT, ops.SLTU,
      ops.SLL, ops.SRL, ops.SRA, ops.ADDI, ops.ANDI, ops.ORI, ops.XORI,
      ops.SLTI, ops.SLLI, ops.SRLI, ops.SRAI, ops.LI, ops.MUL, ops.DIV,
-     ops.REM, ops.FADD, ops.FSUB, ops.FMUL, ops.FDIV, ops.JAL}
-    | ops.LOAD_OPS)
+     ops.REM, ops.FADD, ops.FSUB, ops.FMUL, ops.FDIV, ops.JAL, ops.JALR}
+    | ops.LOAD_OPS | ops.W_RRR_OPS | ops.W_RRI_OPS)
 
 
 class SimulationError(Exception):
@@ -288,6 +288,18 @@ class Core:
                     f"rob head={self.rob[0] if self.rob else None})")
             self.step()
 
+    def architectural_registers(self) -> List[int]:
+        """The committed architectural register file.
+
+        Only meaningful once the core is quiescent (``done`` or between
+        retirement groups): reads each architectural register through the
+        retirement-consistent rename table.  The conformance harness
+        compares this against the in-order interpreter's register file.
+        """
+        rename = self.rename
+        return [rename.values[rename.rat[arch]] if arch else 0
+                for arch in range(ops.NUM_REGS)]
+
     def finalize(self) -> SimResult:
         """Snapshot end-of-run gauges and wrap up the result.
 
@@ -432,7 +444,7 @@ class Core:
         elif inst.op in ops.BRANCH_OPS:
             self.bpred.update(head.pc, head.actual_taken,
                               head.predicted_taken)
-        elif inst.op == ops.JR:
+        elif inst.op == ops.JR or inst.op == ops.JALR:
             self.bpred.update_indirect(head.pc, head.actual_target)
         # Validation runs after retirement-replay correction so the
         # value compared against the golden trace is the retiring one.
@@ -512,6 +524,11 @@ class Core:
         elif op == ops.JR:
             inst.actual_taken = True
             inst.actual_target = a
+            mispredicted = inst.actual_target != inst.predicted_target
+        elif op == ops.JALR:
+            inst.actual_taken = True
+            inst.actual_target = (a + static.imm) & MASK64 & ~1
+            inst.dest_value = (inst.pc + INSTRUCTION_BYTES) & MASK64
             mispredicted = inst.actual_target != inst.predicted_target
         elif op in (ops.J, ops.JAL):
             inst.actual_taken = True
@@ -826,7 +843,7 @@ class Core:
                 self._fetch_trace_index = trace_index + 1
             else:
                 self._fetch_trace_index = -1
-        elif op == ops.JR:
+        elif op == ops.JR or op == ops.JALR:
             predicted_target = self.bpred.predict_indirect(pc)
             if record is not None and predicted_target != record.next_pc \
                     and self.bpred.oracle_should_fix():

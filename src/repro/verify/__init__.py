@@ -29,6 +29,18 @@ from .corpus import (
     replay_case,
     replay_corpus,
 )
+from .conformance import (
+    ConformanceCell,
+    ConformanceReport,
+    conformance_records,
+    run_conformance,
+)
+from .frontends import (
+    frontend_names,
+    get_frontend,
+    interleaved_builder,
+    register_frontend,
+)
 from .fuzzer import DifferentialFuzzer, FuzzMismatch, FuzzReport
 from .litmus_oracle import (
     LitmusOracle,
@@ -43,10 +55,13 @@ from .shrink import shrink_failure
 VERIFICATION_BACKENDS = {
     "fuzz": DifferentialFuzzer,
     "litmus": LitmusOracle,
+    "conformance": run_conformance,
 }
 
 __all__ = [
     "CASE_SCHEMA_VERSION",
+    "ConformanceCell",
+    "ConformanceReport",
     "CorpusError",
     "CrashCase",
     "DifferentialFuzzer",
@@ -57,9 +72,15 @@ __all__ = [
     "LitmusResult",
     "ReplayReport",
     "VERIFICATION_BACKENDS",
+    "conformance_records",
+    "frontend_names",
+    "get_frontend",
+    "interleaved_builder",
     "load_corpus",
+    "register_frontend",
     "replay_case",
     "replay_corpus",
+    "run_conformance",
     "run_litmus_suite",
     "run_litmus_test",
     "shrink_failure",

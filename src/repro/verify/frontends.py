@@ -1,0 +1,75 @@
+"""Program-frontend registry with mandatory fuzz coverage.
+
+The subsystem registry (:mod:`repro.core.registry`) guarantees every
+memory subsystem is differentially fuzzed; this registry applies the
+same rule to every *program source*.  A frontend is any path that turns
+external input into an executable :class:`~repro.isa.program.Program`
+-- the native random generator, the RV32 decoder/translator, future
+ELF/trace loaders.  Each registers a deterministic seed->program fuzz
+builder here; :func:`interleaved_builder` (the
+:class:`~repro.verify.fuzzer.DifferentialFuzzer` default) round-robins
+seeds across all of them, so a frontend that exists but is not fuzzed
+shows up in :func:`missing_coverage` and fails tier-1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..isa.program import Program
+from ..workloads.randprog import fuzz_program
+from ..workloads.riscv_randprog import riscv_fuzz_program
+
+FrontendBuilder = Callable[[int], Program]
+
+_FRONTENDS: Dict[str, FrontendBuilder] = {}
+
+
+def register_frontend(name: str, builder: FrontendBuilder) -> None:
+    """Register a frontend's fuzz-program builder.  Duplicates are
+    rejected: one frontend, one committed builder."""
+    if name in _FRONTENDS:
+        raise ValueError(f"duplicate frontend name {name!r}")
+    _FRONTENDS[name] = builder
+
+
+def frontend_names() -> List[str]:
+    return sorted(_FRONTENDS)
+
+
+def get_frontend(name: str) -> FrontendBuilder:
+    try:
+        return _FRONTENDS[name]
+    except KeyError:
+        raise KeyError(f"unknown frontend {name!r}; choose from "
+                       f"{sorted(_FRONTENDS)}") from None
+
+
+def missing_coverage(covered: Iterable[str]) -> List[str]:
+    """Registered frontends not present in ``covered`` (sorted)."""
+    return sorted(set(_FRONTENDS) - set(covered))
+
+
+def interleaved_builder(frontends: Optional[Sequence[str]] = None
+                        ) -> FrontendBuilder:
+    """A seed->program builder that round-robins across frontends.
+
+    With the default ``frontends=None`` it covers *every* registered
+    frontend (sorted order, so the seed->frontend mapping is stable).
+    The returned callable carries the covered names on a
+    ``frontend_names`` attribute for coverage enforcement.
+    """
+    names = frontend_names() if frontends is None else list(frontends)
+    builders = [get_frontend(name) for name in names]
+    if not builders:
+        raise ValueError("no frontends registered")
+
+    def build(seed: int) -> Program:
+        return builders[seed % len(builders)](seed)
+
+    build.frontend_names = tuple(names)  # type: ignore[attr-defined]
+    return build
+
+
+register_frontend("native", fuzz_program)
+register_frontend("riscv", riscv_fuzz_program)

@@ -42,7 +42,7 @@ from ..isa.program import Program
 from ..obs.runrecord import KIND_FUZZ, SCHEMA_VERSION
 from ..pipeline.config import ProcessorConfig
 from ..pipeline.processor import Processor, SimulationError
-from ..workloads.randprog import fuzz_program
+from . import frontends
 
 #: Architectural execution budget per generated program.
 TRACE_LIMIT = 500_000
@@ -140,9 +140,21 @@ class DifferentialFuzzer:
     """Drives fuzz campaigns over a configuration matrix."""
 
     def __init__(self, configs: Optional[Sequence[ProcessorConfig]] = None,
-                 builder: Callable[[int], Program] = fuzz_program,
+                 builder: Optional[Callable[[int], Program]] = None,
                  max_instructions: int = TRACE_LIMIT,
                  check_determinism: bool = True):
+        if builder is None:
+            # The default builder round-robins across every registered
+            # program frontend (native generator, RV32 translator, ...),
+            # mirroring the subsystem-coverage rule below: a frontend
+            # that exists but is not fuzzed is a tier-1 failure.
+            builder = frontends.interleaved_builder()
+            uncovered = frontends.missing_coverage(
+                builder.frontend_names)
+            if uncovered:
+                raise ValueError(
+                    f"default fuzz builder covers no program for "
+                    f"registered frontend(s) {', '.join(uncovered)}")
         if configs is None:
             configs = fuzz_config_matrix()
             # The default matrix must exercise every registered

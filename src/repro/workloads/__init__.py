@@ -21,8 +21,12 @@ from .suites import (
     FIGURE6_BENCHMARKS,
     FP_BENCHMARKS,
     INT_BENCHMARKS,
+    RISCV_BENCHMARKS,
     build,
     is_fp,
+    register_suite,
+    suite,
+    suite_names,
 )
 
 __all__ = [
@@ -35,6 +39,7 @@ __all__ = [
     "KernelBuilder",
     "LITMUS_TESTS",
     "LitmusTest",
+    "RISCV_BENCHMARKS",
     "RandomProgramBuilder",
     "build",
     "fuzz_program",
@@ -43,4 +48,7 @@ __all__ = [
     "is_litmus",
     "litmus_benchmark_names",
     "random_program",
+    "register_suite",
+    "suite",
+    "suite_names",
 ]

@@ -1,0 +1,226 @@
+"""Random RV32 machine-code generator: fuzz coverage for the RISC-V
+frontend.
+
+The native random generators (:mod:`repro.workloads.randprog`) build
+internal-ISA programs directly; this one builds *real RV32 words* with
+:class:`repro.isa.riscv.RVAssembler` and runs them through the full
+decode -> translate path, so a fuzz campaign exercises the frontend
+itself (encodings, W-op semantics, jal/jalr links, sign-extension
+invariant) and not just the pipeline behind it.
+
+Same structural guarantees as the native generator: programs always
+halt (forward skips and counted loops only), and all memory traffic
+lands in a small arena for dense aliasing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.program import Program
+from ..isa.riscv import RVAssembler
+
+#: Arena base: lui-friendly (low 12 bits zero), positive 32-bit.
+ARENA_BASE = 0x10000
+ARENA_BYTES = 256
+
+#: Register conventions: x1 = arena base, x5..x13 data, x14 scratch,
+#: x6 link register for generated calls, x28..x30 loop counters.
+BASE_REG = 1
+DATA_REGS = list(range(5, 14))
+SCRATCH = 14
+LINK_REG = 6
+LOOP_REGS = [28, 29, 30]
+
+_R_OPS = ["add", "sub", "sll", "srl", "sra", "slt", "sltu", "xor", "or",
+          "and", "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem",
+          "remu"]
+_I_OPS = ["addi", "slti", "sltiu", "xori", "ori", "andi"]
+_SHIFT_OPS = ["slli", "srli", "srai"]
+_LOADS = ["lb", "lbu", "lh", "lhu", "lw"]
+_STORES = ["sb", "sh", "sw"]
+_SIZE_OF = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4,
+            "sb": 1, "sh": 2, "sw": 4}
+_BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+
+
+class RiscvFuzzProgramBuilder:
+    """Builds one random, always-halting RV32 program from a seed."""
+
+    def __init__(self, seed: int, max_blocks: int = 12,
+                 loop_depth_limit: int = 2):
+        self.rng = random.Random(seed ^ 0x52563332)  # decorrelate: "RV32"
+        self.seed = seed
+        self.max_blocks = max_blocks
+        self.loop_depth_limit = loop_depth_limit
+        self.asm = RVAssembler()
+        self._label_counter = 0
+        self._loop_regs_in_use = 0
+        self._calls_emitted = 0
+
+    def _fresh_label(self, prefix: str) -> str:
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter}"
+
+    def _reg(self) -> int:
+        return self.rng.choice(DATA_REGS)
+
+    def _offset(self, size: int) -> int:
+        # Mostly aligned; one access in four at an arbitrary byte
+        # boundary so wide accesses straddle SFC words / MDT granules.
+        if self.rng.random() < 0.25:
+            return self.rng.randrange(ARENA_BYTES - size)
+        return self.rng.randrange(ARENA_BYTES // size) * size
+
+    # -- block emitters ------------------------------------------------------
+
+    def _emit_alu(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randint(1, 4)):
+            kind = rng.random()
+            if kind < 0.5:
+                self.asm.emit(rng.choice(_R_OPS), rd=self._reg(),
+                              rs1=self._reg(), rs2=self._reg())
+            elif kind < 0.8:
+                self.asm.emit(rng.choice(_I_OPS), rd=self._reg(),
+                              rs1=self._reg(), imm=rng.randint(-2048, 2047))
+            else:
+                self.asm.emit(rng.choice(_SHIFT_OPS), rd=self._reg(),
+                              rs1=self._reg(), imm=rng.randrange(32))
+
+    def _emit_memory(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randint(1, 5)):
+            if rng.random() < 0.5:
+                op = rng.choice(_LOADS)
+                self.asm.emit(op, rd=self._reg(), rs1=BASE_REG,
+                              imm=self._offset(_SIZE_OF[op]))
+            else:
+                op = rng.choice(_STORES)
+                self.asm.emit(op, rs1=BASE_REG, rs2=self._reg(),
+                              imm=self._offset(_SIZE_OF[op]))
+
+    def _emit_indexed_memory(self) -> None:
+        """Register-computed addressing (any alignment inside the arena)."""
+        rng = self.rng
+        self.asm.emit("andi", rd=SCRATCH, rs1=self._reg(),
+                      imm=ARENA_BYTES // 2 - 1)
+        self.asm.emit("add", rd=SCRATCH, rs1=SCRATCH, rs2=BASE_REG)
+        if rng.random() < 0.5:
+            op = rng.choice(_LOADS)
+            self.asm.emit(op, rd=self._reg(), rs1=SCRATCH)
+        else:
+            op = rng.choice(_STORES)
+            data = self._reg()
+            self.asm.emit(op, rs1=SCRATCH, rs2=data)
+
+    def _emit_partial_forward(self) -> None:
+        """A wide store under narrow loads, or a narrow store under a
+        wide load -- the SFC partial-forwarding corners, in RV32 form."""
+        rng = self.rng
+        offset = rng.randrange(ARENA_BYTES - 4)
+        self.asm.emit("sw", rs1=BASE_REG, rs2=self._reg(), imm=offset)
+        if rng.random() < 0.5:
+            for _ in range(rng.randint(1, 3)):
+                op = rng.choice(["lb", "lbu", "lh", "lhu"])
+                inner = rng.randrange(4 - _SIZE_OF[op] + 1)
+                self.asm.emit(op, rd=self._reg(), rs1=BASE_REG,
+                              imm=offset + inner)
+        else:
+            op = rng.choice(["sb", "sh"])
+            inner = rng.randrange(4 - _SIZE_OF[op] + 1)
+            self.asm.emit(op, rs1=BASE_REG, rs2=self._reg(),
+                          imm=offset + inner)
+            self.asm.emit("lw", rd=self._reg(), rs1=BASE_REG, imm=offset)
+
+    def _emit_late_store(self) -> None:
+        """A store fed by a multiply chain, then a load of the same
+        address: the canonical true-dependence-violation shape."""
+        rng = self.rng
+        src = self._reg()
+        op = rng.choice(_STORES)
+        offset = self._offset(_SIZE_OF[op])
+        self.asm.emit("mul", rd=src, rs1=src, rs2=src)
+        if rng.random() < 0.5:
+            self.asm.emit("mul", rd=src, rs1=src, rs2=src)
+        self.asm.emit(op, rs1=BASE_REG, rs2=src, imm=offset)
+        load = {1: "lbu", 2: "lhu", 4: "lw"}[_SIZE_OF[op]]
+        self.asm.emit(load, rd=self._reg(), rs1=BASE_REG, imm=offset)
+
+    def _emit_branch(self, depth: int) -> None:
+        """A data-dependent forward skip (wrong-path fodder)."""
+        rng = self.rng
+        skip = self._fresh_label("skip")
+        self.asm.emit("andi", rd=SCRATCH, rs1=self._reg(),
+                      imm=rng.choice([1, 3, 7]))
+        self.asm.branch(rng.choice(["beq", "bne"]), SCRATCH, 0, skip)
+        self._emit_body(depth + 1)
+        self.asm.label(skip)
+
+    def _emit_loop(self, depth: int) -> None:
+        rng = self.rng
+        counter = LOOP_REGS[self._loop_regs_in_use]
+        self._loop_regs_in_use += 1
+        top = self._fresh_label("loop")
+        self.asm.emit("addi", rd=counter, rs1=0, imm=rng.randint(2, 6))
+        self.asm.label(top)
+        self._emit_body(depth + 1)
+        self.asm.emit("addi", rd=counter, rs1=counter, imm=-1)
+        self.asm.branch("bne", counter, 0, top)
+        self._loop_regs_in_use -= 1
+
+    def _emit_call(self) -> None:
+        """A jal/jalr call-return pair through the shared leaf function."""
+        self._calls_emitted += 1
+        self.asm.jal(LINK_REG, "leaf_func")
+
+    def _emit_body(self, depth: int) -> None:
+        choice = self.rng.random()
+        if choice < 0.22:
+            self._emit_alu()
+        elif choice < 0.44:
+            self._emit_memory()
+        elif choice < 0.54:
+            self._emit_indexed_memory()
+        elif choice < 0.64:
+            self._emit_partial_forward()
+        elif choice < 0.74:
+            self._emit_late_store()
+        elif choice < 0.8 and depth == 0 and self._calls_emitted < 4:
+            self._emit_call()
+        elif choice < 0.9 and depth < self.loop_depth_limit and \
+                self._loop_regs_in_use < len(LOOP_REGS):
+            self._emit_loop(depth)
+        elif depth < 4:
+            self._emit_branch(depth)
+        else:
+            self._emit_alu()
+
+    # -- top level -----------------------------------------------------------
+
+    def build(self) -> Program:
+        rng = self.rng
+        asm = self.asm
+        asm.emit("lui", rd=BASE_REG, imm=ARENA_BASE)
+        for reg in DATA_REGS:
+            asm.li32(reg, rng.getrandbits(32))
+        # Seed the arena with stores (an RV32 image has no data segment).
+        for slot in range(0, ARENA_BYTES, 4):
+            if rng.random() < 0.5:
+                asm.emit("sw", rs1=BASE_REG, rs2=rng.choice(DATA_REGS),
+                         imm=slot)
+        for _ in range(rng.randint(3, self.max_blocks)):
+            self._emit_body(depth=0)
+        asm.emit("ecall")
+        # The shared leaf function: a little arithmetic on x10, then an
+        # indirect return.  x6 is never clobbered between call and return.
+        asm.label("leaf_func")
+        asm.emit("addi", rd=10, rs1=10, imm=rng.randint(-8, 8))
+        asm.emit("xor", rd=10, rs1=10, rs2=rng.choice(DATA_REGS))
+        asm.emit("jalr", rd=0, rs1=LINK_REG)
+        return asm.build(name=f"rv-random-{self.seed}")
+
+
+def riscv_fuzz_program(seed: int, max_blocks: int = 12) -> Program:
+    """Generate one random RV32 program via the full frontend path."""
+    return RiscvFuzzProgramBuilder(seed, max_blocks=max_blocks).build()

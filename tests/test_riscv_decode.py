@@ -1,0 +1,186 @@
+"""RV32 decoder/encoder tests: known encodings, typed errors, and the
+property-based round-trip ``encode(decode_word(w)) == w``."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.isa import DecodeError, UnsupportedInstructionError, decode_word
+from repro.isa.riscv import RVAssembler, RVInstruction, encode
+
+_FAST = settings(max_examples=300, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestKnownEncodings:
+    """Hand-assembled words decode to the expected fields."""
+
+    @pytest.mark.parametrize("word,mnemonic,fields", [
+        (0x00500093, "addi", dict(rd=1, rs1=0, imm=5)),
+        (0xFFF00093, "addi", dict(rd=1, rs1=0, imm=-1)),
+        (0x00208133, "add", dict(rd=2, rs1=1, rs2=2)),
+        (0x40208133, "sub", dict(rd=2, rs1=1, rs2=2)),
+        (0x02208133, "mul", dict(rd=2, rs1=1, rs2=2)),
+        (0x0000A103, "lw", dict(rd=2, rs1=1, imm=0)),
+        (0x0020A023, "sw", dict(rs1=1, rs2=2, imm=0)),
+        (0x10000237, "lui", dict(rd=4, imm=0x10000000)),
+        (0x00000073, "ecall", dict()),
+        (0x00100073, "ebreak", dict()),
+        (0x00000013, "addi", dict(rd=0, rs1=0, imm=0)),  # canonical NOP
+    ])
+    def test_decode_fields(self, word, mnemonic, fields):
+        rv = decode_word(word)
+        assert rv.mnemonic == mnemonic
+        for field, value in fields.items():
+            assert getattr(rv, field) == value, field
+        assert encode(rv) == word
+
+    def test_branch_offset_is_signed_and_even(self):
+        # beq x1, x2, -8 (a backward branch).
+        rv = decode_word(0xFE208CE3)
+        assert rv.mnemonic == "beq"
+        assert (rv.rs1, rv.rs2) == (1, 2)
+        assert rv.imm == -8
+
+    def test_jal_offset(self):
+        rv = decode_word(0x008000EF)  # jal x1, +8
+        assert (rv.mnemonic, rv.rd, rv.imm) == ("jal", 1, 8)
+
+    def test_shift_shamt(self):
+        rv = decode_word(0x00509093)  # slli x1, x1, 5
+        assert (rv.mnemonic, rv.imm) == ("slli", 5)
+        rv = decode_word(0x40505093)  # srai x1, x0, 5
+        assert (rv.mnemonic, rv.imm) == ("srai", 5)
+
+
+class TestTypedErrors:
+    """Invalid input raises :class:`DecodeError`, never ``KeyError``."""
+
+    @pytest.mark.parametrize("word", [
+        0x00000000,          # all-zero (defined illegal in RV32)
+        0xFFFFFFFF,          # all-ones
+        0x0000001B,          # OP-IMM-32 (RV64-only major opcode)
+        0x00001067,          # jalr with funct3 != 0
+        0x00202063,          # branch funct3=2 (invalid)
+        0x0000B003,          # load funct3=3 (ld is RV64-only)
+        0x0000B023,          # store funct3=3 (sd is RV64-only)
+        0x40509093,          # slli with funct7=0x20
+        0x7F208133,          # OP with unknown funct7
+    ])
+    def test_invalid_words(self, word):
+        with pytest.raises(DecodeError):
+            decode_word(word)
+
+    @pytest.mark.parametrize("word", [
+        0x30529073,          # csrrw (Zicsr)
+        0x30200073,          # mret (privileged)
+    ])
+    def test_unmodelled_words_are_typed_separately(self, word):
+        with pytest.raises(UnsupportedInstructionError):
+            decode_word(word)
+
+    def test_error_reports_word_and_pc(self):
+        with pytest.raises(DecodeError) as excinfo:
+            decode_word(0x0000001B, pc=0x40)
+        message = str(excinfo.value)
+        assert "word=0x0000001b" in message
+        assert "pc=0x40" in message
+        assert excinfo.value.word == 0x0000001B
+        assert excinfo.value.pc == 0x40
+
+    def test_non_int_and_out_of_range_words(self):
+        with pytest.raises(DecodeError):
+            decode_word("00500093")  # type: ignore[arg-type]
+        with pytest.raises(DecodeError):
+            decode_word(-1)
+        with pytest.raises(DecodeError):
+            decode_word(1 << 32)
+
+
+class TestRoundTripProperty:
+    """The fuzzed contract: decoding any 32-bit word either raises a
+    typed :class:`DecodeError` or round-trips bit-exactly."""
+
+    @_FAST
+    @given(word=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_decode_never_crashes_and_reencodes_exactly(self, word):
+        try:
+            rv = decode_word(word)
+        except DecodeError:
+            return  # includes UnsupportedInstructionError
+        assert encode(rv) == word
+
+    @_FAST
+    @given(rd=st.integers(0, 31), rs1=st.integers(0, 31),
+           imm=st.integers(-2048, 2047),
+           mnemonic=st.sampled_from(
+               ["addi", "slti", "sltiu", "xori", "ori", "andi",
+                "lb", "lh", "lw", "lbu", "lhu", "jalr"]))
+    def test_itype_field_roundtrip(self, rd, rs1, imm, mnemonic):
+        rv = RVInstruction(mnemonic, rd=rd, rs1=rs1, imm=imm)
+        assert decode_word(encode(rv)).key() == rv.key()
+
+    @_FAST
+    @given(rs1=st.integers(0, 31), rs2=st.integers(0, 31),
+           imm=st.integers(-2048, 2047),
+           mnemonic=st.sampled_from(["sb", "sh", "sw"]))
+    def test_store_field_roundtrip(self, rs1, rs2, imm, mnemonic):
+        rv = RVInstruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+        assert decode_word(encode(rv)).key() == rv.key()
+
+    @_FAST
+    @given(rs1=st.integers(0, 31), rs2=st.integers(0, 31),
+           offset=st.integers(-2048, 2047),
+           mnemonic=st.sampled_from(
+               ["beq", "bne", "blt", "bge", "bltu", "bgeu"]))
+    def test_branch_field_roundtrip(self, rs1, rs2, offset, mnemonic):
+        rv = RVInstruction(mnemonic, rs1=rs1, rs2=rs2, imm=offset * 2)
+        assert decode_word(encode(rv)).key() == rv.key()
+
+    @_FAST
+    @given(rd=st.integers(0, 31), upper=st.integers(0, (1 << 20) - 1),
+           mnemonic=st.sampled_from(["lui", "auipc"]))
+    def test_utype_field_roundtrip(self, rd, upper, mnemonic):
+        imm = upper << 12
+        if imm >> 31:
+            imm -= 1 << 32  # decode sign-extends the shifted immediate
+        rv = RVInstruction(mnemonic, rd=rd, imm=imm)
+        assert decode_word(encode(rv)).key() == rv.key()
+
+    @_FAST
+    @given(rd=st.integers(0, 31), offset=st.integers(-(1 << 19),
+                                                     (1 << 19) - 1))
+    def test_jal_field_roundtrip(self, rd, offset):
+        rv = RVInstruction("jal", rd=rd, imm=offset * 2)
+        assert decode_word(encode(rv)).key() == rv.key()
+
+
+class TestAssemblerRoundTrip:
+    """RVAssembler output is itself decodable (labels resolved)."""
+
+    def test_emitted_words_all_decode(self):
+        asm = RVAssembler()
+        asm.li32(1, 0xDEADBEEF)
+        asm.label("top")
+        asm.emit("addi", rd=2, rs1=2, imm=1)
+        asm.branch("bne", 2, 3, "top")
+        asm.jal(5, "end")
+        asm.emit("sw", rs1=1, rs2=2, imm=4)
+        asm.label("end")
+        asm.emit("ecall")
+        for word in asm.words():
+            assert encode(decode_word(word)) == word
+
+    def test_duplicate_label_rejected(self):
+        asm = RVAssembler()
+        asm.label("x")
+        with pytest.raises(DecodeError):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = RVAssembler()
+        asm.branch("beq", 0, 0, "nowhere")
+        with pytest.raises(DecodeError):
+            asm.words()
