@@ -1,0 +1,49 @@
+"""Measure batch-dispatch fast-forward throughput on long kernel runs.
+
+Runs three kernels to the halt (capped at 5M instructions), cold and
+with warm-state training (gshare + cache hierarchy riding along), once
+through the per-instruction reference engine and once through the
+predecoded batch-dispatch engine, and records wall-clock throughput,
+speedup, and bit-exactness of the complete final state.  Results go to
+``benchmarks/results/BENCH_fastforward.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/measure_fastforward.py
+"""
+
+import os
+import sys
+from pathlib import Path
+
+from repro.perf import measure_fastforward
+
+BENCHMARKS = ("gzip", "mcf", "equake")
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "2000000"))
+RESULTS = Path(__file__).parent / "results" / "BENCH_fastforward.txt"
+
+
+def main() -> int:
+    report = measure_fastforward(list(BENCHMARKS), SCALE)
+    lines = [
+        "Fast-forward benchmark: predecoded batch dispatch vs "
+        "per-instruction reference",
+        f"scale={SCALE} warm modes: cold + gshare/cache training",
+        "",
+        report.format(),
+    ]
+    text = "\n".join(lines) + "\n"
+    RESULTS.write_text(text)
+    print(text)
+    print(f"wrote {RESULTS}")
+    if not report.all_bit_exact:
+        print("FAIL: batch engine state diverged from the reference")
+        return 1
+    if report.min_speedup < 3.0:
+        print(f"FAIL: min speedup {report.min_speedup:.1f}x < 3x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

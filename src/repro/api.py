@@ -163,6 +163,7 @@ def simulate_sampled(benchmark: str,
                      interval_insts: int = 5_000,
                      checkpoint_every: Optional[int] = None,
                      warm: bool = True,
+                     horizon: Optional[int] = None,
                      runner: Optional[ExperimentRunner] = None,
                      **runner_kwargs) -> RunRecord:
     """Sampled simulation of one cell: checkpointed fast-forward with
@@ -171,15 +172,18 @@ def simulate_sampled(benchmark: str,
 
     The record's ``ipc`` is the per-interval mean; ``record.sampling``
     carries ``ipc_ci95`` (confidence half-width), the interval table,
-    and the fast-forward/detailed instruction split.  See DESIGN.md
-    "Sampling methodology" for the error model and when exact mode is
-    required instead.
+    and the fast-forward/detailed instruction split.  ``horizon``
+    restricts sampling to the first N retired instructions; checkpoint
+    trains are shared across horizons (a longer train serves shorter
+    requests as a prefix, a shorter one is extended in place).  See
+    DESIGN.md "Sampling methodology" for the error model and when exact
+    mode is required instead.
     """
     engine = _runner(scale, runner, **runner_kwargs)
     return engine.run_sampled(
         benchmark, resolve_config(config), intervals=intervals,
         warmup_insts=warmup_insts, interval_insts=interval_insts,
-        checkpoint_every=checkpoint_every, warm=warm)
+        checkpoint_every=checkpoint_every, warm=warm, horizon=horizon)
 
 
 def simulate_system(benchmark: str,

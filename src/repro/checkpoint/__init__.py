@@ -8,11 +8,12 @@ sampler built on top of them.
 
 from .arch import CHECKPOINT_FORMAT, ArchCheckpoint
 from .sampling import (SampledResult, SamplingError, capture_train,
-                       sample_run, select_checkpoints, simulate_interval)
+                       ensure_train, sample_run, select_checkpoints,
+                       simulate_interval)
 from .store import CheckpointStore, train_key
 
 __all__ = [
     "ArchCheckpoint", "CHECKPOINT_FORMAT", "CheckpointStore",
-    "SampledResult", "SamplingError", "capture_train", "sample_run",
-    "select_checkpoints", "simulate_interval", "train_key",
+    "SampledResult", "SamplingError", "capture_train", "ensure_train",
+    "sample_run", "select_checkpoints", "simulate_interval", "train_key",
 ]

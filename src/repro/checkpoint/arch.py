@@ -28,7 +28,11 @@ from ..memory.main_memory import MainMemory
 
 #: Bump when the serialized checkpoint layout changes; old entries in a
 #: :class:`~repro.checkpoint.store.CheckpointStore` become unreadable.
-CHECKPOINT_FORMAT = 1
+#: Format 2 added the train-level ``complete``/``stride`` fields that
+#: cross-scale prefix reuse depends on; because ``train_key`` folds the
+#: format in, v1 trains simply never match a v2 key (explicit
+#: compatibility handling -- no in-place migration).
+CHECKPOINT_FORMAT = 2
 
 
 class ArchCheckpoint:

@@ -130,9 +130,59 @@ def _warm_capsule(bpred: Optional[GsharePredictor],
     return capsule
 
 
+def _advance_capture(program: Program, interp: Interpreter,
+                     checkpoints: List[ArchCheckpoint], stride: int,
+                     bpred, hierarchy, horizon: Optional[int],
+                     limit: int, max_checkpoints: int):
+    """Drive a (fresh or resumed) capture forward.
+
+    Fast-forwards ``interp`` in ``stride``-sized chunks, appending a
+    checkpoint at every chunk boundary, until the program halts or --
+    when ``horizon`` is given -- the first boundary at or past
+    ``horizon``.  Thinning (drop every other checkpoint, double the
+    stride) keeps the train under ``max_checkpoints`` while always
+    preserving the *last* checkpoint, so an incomplete train can later
+    be resumed from exactly the position its ``total_instructions``
+    reports.
+
+    Returns ``(checkpoints, total_instructions, complete, stride)``.
+    The whole advance is a deterministic function of its starting state,
+    which is what makes in-place extension bit-identical to a fresh
+    capture at the longer horizon.
+    """
+    base_image = MainMemory()
+    base_image.load_segments(program.data)
+    while not interp.halted:
+        position = interp.instructions_retired
+        if horizon is not None and position >= horizon:
+            return checkpoints, position, False, stride
+        budget = min(stride, limit - position)
+        if budget <= 0:
+            raise ExecutionLimitExceeded(
+                f"program {program.name!r} did not halt within "
+                f"{limit} instructions")
+        executed = interp.fast_forward(budget, bpred, hierarchy)
+        if interp.halted or executed < budget:
+            break
+        checkpoints.append(ArchCheckpoint.capture(
+            interp, base_image, warm=_warm_capsule(bpred, hierarchy)))
+        while len(checkpoints) > max_checkpoints:
+            thinned = checkpoints[::2]
+            if thinned[-1] is not checkpoints[-1]:
+                thinned.append(checkpoints[-1])
+            checkpoints = thinned
+            stride *= 2
+    if not interp.halted:
+        raise ExecutionLimitExceeded(
+            f"program {program.name!r} did not halt within "
+            f"{limit} instructions")
+    return checkpoints, interp.instructions_retired, True, stride
+
+
 def capture_train(program: Program, every: int, warm: bool = True,
                   limit: int = 5_000_000,
-                  max_checkpoints: int = MAX_TRAIN_CHECKPOINTS):
+                  max_checkpoints: int = MAX_TRAIN_CHECKPOINTS,
+                  horizon: Optional[int] = None):
     """One fast-forward pass over ``program``, checkpointing every
     ``every`` retired instructions.
 
@@ -140,7 +190,10 @@ def capture_train(program: Program, every: int, warm: bool = True,
     starts with a position-0 checkpoint and is thinned (every other
     checkpoint dropped, stride doubled) whenever it exceeds
     ``max_checkpoints``, so long programs stay bounded in memory and on
-    disk.
+    disk.  ``horizon`` stops the capture at the first checkpoint
+    boundary at or past that many retired instructions instead of
+    running to halt (see :func:`ensure_train` for the reuse protocol
+    built on this).
     """
     if every < 1:
         raise ValueError(f"checkpoint interval must be >= 1, got {every}")
@@ -151,26 +204,94 @@ def capture_train(program: Program, every: int, warm: bool = True,
     hierarchy = paper_hierarchy() if warm else None
     checkpoints = [ArchCheckpoint.capture(
         interp, base_image, warm=_warm_capsule(bpred, hierarchy))]
-    stride = every
-    while not interp.halted:
-        budget = min(stride, limit - interp.instructions_retired)
-        if budget <= 0:
-            raise ExecutionLimitExceeded(
-                f"program {program.name!r} did not halt within "
-                f"{limit} instructions")
-        executed = interp.fast_forward(budget, bpred, hierarchy)
-        if interp.halted or executed < budget:
-            break
-        checkpoints.append(ArchCheckpoint.capture(
-            interp, base_image, warm=_warm_capsule(bpred, hierarchy)))
-        if len(checkpoints) > max_checkpoints:
-            checkpoints = checkpoints[::2]
-            stride *= 2
-    if not interp.halted:
-        raise ExecutionLimitExceeded(
-            f"program {program.name!r} did not halt within "
-            f"{limit} instructions")
-    return checkpoints, interp.instructions_retired
+    checkpoints, total, _complete, _stride = _advance_capture(
+        program, interp, checkpoints, every, bpred, hierarchy,
+        horizon, limit, max_checkpoints)
+    return checkpoints, total
+
+
+def _resume_warm_state(checkpoint: ArchCheckpoint, warm: bool):
+    """Rebuild the (bpred, hierarchy) training pair a capture had when it
+    captured ``checkpoint``.  Capsules restore predictor counters and
+    cache tag arrays exactly, so training resumed from them is
+    bit-identical to training that never stopped."""
+    if not warm:
+        return None, None
+    bpred = GsharePredictor()
+    hierarchy = paper_hierarchy()
+    capsule = checkpoint.warm or {}
+    if "bpred" in capsule:
+        bpred.import_state(capsule["bpred"])
+    if "caches" in capsule:
+        hierarchy.import_state(capsule["caches"])
+    return bpred, hierarchy
+
+
+def ensure_train(program: Program, every: int, warm: bool = True, *,
+                 horizon: Optional[int] = None, store=None,
+                 limit: int = 5_000_000,
+                 max_checkpoints: int = MAX_TRAIN_CHECKPOINTS) -> dict:
+    """Return a train payload covering ``horizon`` retired instructions
+    (the full run when None), reusing or extending any persisted train.
+
+    The cross-scale reuse protocol:
+
+    * :func:`~repro.checkpoint.store.train_key` deliberately excludes
+      the horizon, so every request for the same ``(program, every,
+      warm)`` triple shares one stored train regardless of scale;
+    * a stored train that is ``complete`` (ran to halt) or already
+      reaches ``horizon`` is served as-is -- a train captured at a
+      longer horizon satisfies any shorter request as a position
+      prefix;
+    * a shorter stored train is **extended in place**: capture resumes
+      from its last checkpoint (architectural state from the page
+      delta, predictor/cache training from the warm capsule), runs
+      forward to the new horizon, and atomically replaces the stored
+      train.  Extension is bit-identical to a fresh capture at the
+      longer horizon, so mixing scales never recaptures and never
+      changes results.
+
+    Returns ``{"checkpoints", "total_instructions", "complete",
+    "stride"}``.
+    """
+    if every < 1:
+        raise ValueError(f"checkpoint interval must be >= 1, got {every}")
+    if horizon is not None and horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    key = train_key(program.digest(), every, warm) \
+        if store is not None else None
+    train = store.load(key) if store is not None else None
+    if train is not None:
+        if train["complete"] or (horizon is not None
+                                 and train["total_instructions"] >= horizon):
+            return train
+        # Extend in place from the last checkpoint.
+        checkpoints = list(train["checkpoints"])
+        stride = train["stride"]
+        if stride <= 0:  # legacy/unknown: infer from positions
+            stride = (checkpoints[1].retired - checkpoints[0].retired
+                      if len(checkpoints) > 1 else every)
+        last = checkpoints[-1]
+        interp = last.resume_interpreter(program)
+        bpred, hierarchy = _resume_warm_state(last, warm)
+    else:
+        interp = Interpreter(program)
+        bpred = GsharePredictor() if warm else None
+        hierarchy = paper_hierarchy() if warm else None
+        base_image = MainMemory()
+        base_image.load_segments(program.data)
+        checkpoints = [ArchCheckpoint.capture(
+            interp, base_image, warm=_warm_capsule(bpred, hierarchy))]
+        stride = every
+    checkpoints, total, complete, stride = _advance_capture(
+        program, interp, checkpoints, stride, bpred, hierarchy,
+        horizon, limit, max_checkpoints)
+    payload = {"checkpoints": checkpoints, "total_instructions": total,
+               "complete": complete, "stride": stride}
+    if store is not None and key is not None:
+        store.store(key, checkpoints, total, complete=complete,
+                    stride=stride)
+    return payload
 
 
 def select_checkpoints(checkpoints: List[ArchCheckpoint], total: int,
@@ -251,29 +372,32 @@ def sample_run(program: Program, config: ProcessorConfig, *,
                interval_insts: int = 5_000,
                checkpoint_every: Optional[int] = None, warm: bool = True,
                store: Optional[CheckpointStore] = None,
-               limit: int = 5_000_000) -> SampledResult:
+               limit: int = 5_000_000,
+               horizon: Optional[int] = None) -> SampledResult:
     """Sampled detailed simulation of ``program`` under ``config``.
 
     When a :class:`~repro.checkpoint.store.CheckpointStore` is supplied
     the checkpoint train is persisted content-addressed, so grid cells
-    sharing a benchmark (any config) fast-forward once.
+    sharing a benchmark (any config) fast-forward once -- and, with
+    ``horizon``, once across *scales*: a longer stored train serves any
+    shorter horizon as a prefix, a shorter one is extended in place
+    (see :func:`ensure_train`).
+
+    ``horizon`` restricts sampling to the first ``horizon`` retired
+    instructions instead of the whole run.  Accounting is clamped to
+    ``min(horizon, total)``: instructions the train happens to cover
+    past the requested horizon (checkpoint-boundary overshoot, a longer
+    reused train, the post-halt tail) never widen the sampled span or
+    the eligibility window.
     """
     window = warmup_insts + interval_insts
     every = checkpoint_every if checkpoint_every else max(window, 500)
-    train = None
-    key = None
-    if store is not None:
-        key = train_key(program.digest(), every, warm)
-        train = store.load(key)
-    if train is None:
-        checkpoints, total = capture_train(program, every, warm=warm,
-                                           limit=limit)
-        if store is not None and key is not None:
-            store.store(key, checkpoints, total)
-    else:
-        checkpoints, total = train["checkpoints"], \
-            train["total_instructions"]
-    selected = select_checkpoints(checkpoints, total, intervals, window)
+    train = ensure_train(program, every, warm, horizon=horizon,
+                         store=store, limit=limit)
+    checkpoints = train["checkpoints"]
+    total = train["total_instructions"]
+    span = total if horizon is None else min(horizon, total)
+    selected = select_checkpoints(checkpoints, span, intervals, window)
     measured = []
     for ckpt in selected:
         result = simulate_interval(program, config, ckpt, warmup_insts,
@@ -283,8 +407,8 @@ def sample_run(program: Program, config: ProcessorConfig, *,
     if not measured:
         raise SamplingError(
             f"no measurable interval for {program.name!r}: program "
-            f"halts inside every warm-up window (total "
-            f"{total} instructions, warm-up {warmup_insts})")
+            f"halts inside every warm-up window (sampled span "
+            f"{span} instructions, warm-up {warmup_insts})")
 
     ipcs = [iv["ipc"] for iv in measured]
     count = len(ipcs)
@@ -311,6 +435,6 @@ def sample_run(program: Program, config: ProcessorConfig, *,
         program_name=program.name, config_name=config.name,
         ipc_mean=mean, ipc_std=std, ipc_ci95=half, intervals=measured,
         counters=counters, cycles=cycles, instructions=instructions,
-        total_instructions=total, detailed_instructions=detailed,
+        total_instructions=span, detailed_instructions=detailed,
         warmup_insts=warmup_insts, interval_insts=interval_insts,
         checkpoint_every=every, warm=warm)

@@ -48,7 +48,18 @@ class CheckpointStore:
 
     def load(self, key: str) -> Optional[dict]:
         """Load a train payload: ``{"total_instructions": int,
-        "checkpoints": [ArchCheckpoint, ...]}``; None on miss/corrupt."""
+        "checkpoints": [ArchCheckpoint, ...], "complete": bool,
+        "stride": int}``; None on miss/corrupt.
+
+        ``complete`` is True when the capture ran the program to halt;
+        an incomplete train covers exactly ``total_instructions``
+        retired instructions and can be *extended in place* by resuming
+        from its last checkpoint (see
+        :func:`repro.checkpoint.sampling.ensure_train`).  ``stride`` is
+        the capture interval in effect at the end of the train (it grows
+        past ``every`` whenever the train was thinned); 0 means unknown
+        and is re-inferred from checkpoint positions on resume.
+        """
         try:
             payload = json.loads(self.path(key).read_text())
         except (OSError, ValueError):
@@ -60,17 +71,23 @@ class CheckpointStore:
             checkpoints = [ArchCheckpoint.from_dict(entry)
                            for entry in payload["checkpoints"]]
             total = int(payload["total_instructions"])
+            complete = bool(payload.get("complete", True))
+            stride = int(payload.get("stride", 0))
         except (KeyError, TypeError, ValueError):
             return None
-        return {"total_instructions": total, "checkpoints": checkpoints}
+        return {"total_instructions": total, "checkpoints": checkpoints,
+                "complete": complete, "stride": stride}
 
     def store(self, key: str, checkpoints: List[ArchCheckpoint],
-              total_instructions: int) -> None:
+              total_instructions: int, complete: bool = True,
+              stride: int = 0) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         final = self.path(key)
         payload = {
             "format": CHECKPOINT_FORMAT,
             "total_instructions": total_instructions,
+            "complete": bool(complete),
+            "stride": int(stride),
             "checkpoints": [ckpt.to_dict() for ckpt in checkpoints],
         }
         tmp = final.with_name(
@@ -78,7 +95,9 @@ class CheckpointStore:
         try:
             tmp.write_text(json.dumps(payload, sort_keys=True))
             tmp.replace(final)
-        except OSError:
+        except BaseException:
+            # Any mid-write failure -- not just OSError: a TypeError from
+            # an unserializable warm capsule must not leak the temp file.
             try:
                 tmp.unlink()
             except OSError:

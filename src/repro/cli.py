@@ -217,6 +217,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="sampled mode: capture a checkpoint every C "
                           "fast-forwarded instructions (default: one "
                           "window, warm-up + interval)")
+    run.add_argument("--horizon", type=int, default=None, metavar="N",
+                     help="sampled mode: sample only the first N "
+                          "retired instructions; checkpoint trains are "
+                          "reused across horizons (prefix) or extended "
+                          "in place instead of recaptured")
     _add_engine_flags(run)
     _add_output_flags(run)
 
@@ -464,6 +469,7 @@ def _cmd_run_sampled(args) -> int:
         warmup_insts=args.warmup_insts,
         interval_insts=args.interval_insts,
         checkpoint_every=args.checkpoint_every,
+        horizon=args.horizon,
         runner=_build_runner(args))
     if args.format == "json":
         _emit(record.to_json(indent=2), args)

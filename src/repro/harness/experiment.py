@@ -283,11 +283,14 @@ class _MemoCheckpointStore:
             self._memo[key] = train
         return train
 
-    def store(self, key: str, checkpoints, total_instructions: int) -> None:
+    def store(self, key: str, checkpoints, total_instructions: int,
+              complete: bool = True, stride: int = 0) -> None:
         self._memo[key] = {"total_instructions": total_instructions,
-                           "checkpoints": list(checkpoints)}
+                           "checkpoints": list(checkpoints),
+                           "complete": complete, "stride": stride}
         if self.inner is not None:
-            self.inner.store(key, checkpoints, total_instructions)
+            self.inner.store(key, checkpoints, total_instructions,
+                             complete=complete, stride=stride)
 
 
 def _simulate_cell(program: Program, trace: List[RetireRecord],
@@ -463,7 +466,8 @@ class ExperimentRunner:
                     intervals: int = 10, warmup_insts: int = 1_000,
                     interval_insts: int = 5_000,
                     checkpoint_every: Optional[int] = None,
-                    warm: bool = True) -> RunRecord:
+                    warm: bool = True,
+                    horizon: Optional[int] = None) -> RunRecord:
         """Sampled simulation of one cell: checkpointed fast-forward
         with ``intervals`` detailed windows (see
         :func:`repro.checkpoint.sampling.sample_run`).
@@ -473,12 +477,19 @@ class ExperimentRunner:
         Sampled cells get their own cache keys (the sampling parameters
         are folded into the key), so they can never shadow or be
         shadowed by exact-mode entries, and the checkpoint train is
-        shared content-addressed across every config of a benchmark.
+        shared content-addressed across every config of a benchmark --
+        and, when ``horizon`` limits the sampled span, across horizons
+        too (prefix reuse / in-place extension, so different scales
+        never recapture).
         """
         params = {"intervals": intervals, "warmup_insts": warmup_insts,
                   "interval_insts": interval_insts,
                   "checkpoint_every": checkpoint_every or 0,
                   "warm": warm}
+        if horizon is not None:
+            # Folded in only when present so pre-existing sampled-cell
+            # cache keys stay byte-stable.
+            params["horizon"] = horizon
         key = cache_key(benchmark, self.scale, config, sampling=params)
         payload = self.cache.load(key) if self.cache else None
         hit = payload is not None
@@ -489,7 +500,8 @@ class ExperimentRunner:
                 program, config, intervals=intervals,
                 warmup_insts=warmup_insts, interval_insts=interval_insts,
                 checkpoint_every=checkpoint_every, warm=warm,
-                store=self._checkpoints, limit=TRACE_LIMIT)
+                store=self._checkpoints, limit=TRACE_LIMIT,
+                horizon=horizon)
             payload = {
                 "format": CACHE_FORMAT,
                 "program_name": program.name,

@@ -45,6 +45,15 @@ class Program:
         from .riscv import load_program  # local import: avoid a cycle
         return load_program(source, name=name)
 
+    def predecoded(self):
+        """Dense-array predecoded form (see :mod:`repro.isa.predecode`).
+
+        Cached globally by content digest, so identical images -- however
+        they were built -- share one predecode and its compiled blocks.
+        """
+        from .predecode import predecode  # local import: avoid a cycle
+        return predecode(self)
+
     def fetch(self, pc: int) -> Instruction:
         """Return the instruction at byte address ``pc``.
 

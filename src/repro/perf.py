@@ -328,6 +328,137 @@ def measure_sampling(benchmarks: Sequence[str], config: ProcessorConfig,
     return SamplingReport(samples, scale, warmup_insts, interval_insts)
 
 
+class FastForwardSample:
+    """Timing of one benchmark through both fast-forward engines."""
+
+    __slots__ = ("benchmark", "warm", "instructions", "reference_wall",
+                 "engine_wall", "bit_exact")
+
+    def __init__(self, benchmark: str, warm: bool, instructions: int,
+                 reference_wall: float, engine_wall: float,
+                 bit_exact: bool):
+        self.benchmark = benchmark
+        self.warm = warm
+        self.instructions = instructions
+        self.reference_wall = reference_wall
+        self.engine_wall = engine_wall
+        self.bit_exact = bit_exact
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_wall / self.engine_wall \
+            if self.engine_wall else 0.0
+
+    @property
+    def engine_insts_per_sec(self) -> float:
+        return self.instructions / self.engine_wall \
+            if self.engine_wall else 0.0
+
+    @property
+    def reference_insts_per_sec(self) -> float:
+        return self.instructions / self.reference_wall \
+            if self.reference_wall else 0.0
+
+
+class FastForwardReport:
+    """Aggregate of one batch-engine-vs-reference validation sweep."""
+
+    def __init__(self, samples: List[FastForwardSample], scale: int):
+        self.samples = samples
+        self.scale = scale
+
+    @property
+    def all_bit_exact(self) -> bool:
+        return all(s.bit_exact for s in self.samples)
+
+    @property
+    def min_speedup(self) -> float:
+        return min((s.speedup for s in self.samples), default=0.0)
+
+    def format(self) -> str:
+        lines = [
+            f"{'benchmark':<10} {'warm':>5} {'insts':>9} {'ref(s)':>8} "
+            f"{'eng(s)':>8} {'ref Ki/s':>9} {'eng Ki/s':>9} "
+            f"{'speedup':>8} {'exact':>5}",
+        ]
+        for s in self.samples:
+            lines.append(
+                f"{s.benchmark:<10} {'yes' if s.warm else 'no':>5} "
+                f"{s.instructions:>9d} {s.reference_wall:>8.3f} "
+                f"{s.engine_wall:>8.3f} "
+                f"{s.reference_insts_per_sec / 1e3:>9.0f} "
+                f"{s.engine_insts_per_sec / 1e3:>9.0f} "
+                f"{s.speedup:>7.1f}x "
+                f"{'ok' if s.bit_exact else 'DIFF':>5}")
+        lines += [
+            "",
+            f"min speedup {self.min_speedup:.1f}x; "
+            f"{'every' if self.all_bit_exact else 'NOT every'} cell "
+            f"bit-exact vs the per-instruction reference engine",
+        ]
+        return "\n".join(lines)
+
+
+def _fastforward_state(interp, bpred, hierarchy) -> tuple:
+    """Full architected + warm state of one fast-forward pass."""
+    return (list(interp.regs), interp.pc, interp.instructions_retired,
+            interp.halted, interp.memory.digest(),
+            bpred.export_state() if bpred is not None else None,
+            hierarchy.export_state() if hierarchy is not None else None)
+
+
+def measure_fastforward(benchmarks: Sequence[str], scale: int,
+                        count: Optional[int] = None,
+                        warm_modes: Sequence[bool] = (False, True),
+                        limit: int = 5_000_000) -> FastForwardReport:
+    """Validate the batch-dispatch fast-forward engine for speed and
+    bit-exactness.
+
+    For each benchmark at ``scale`` and each warm mode, runs ``count``
+    instructions (default: to the halt, capped at ``limit``) through
+    the per-instruction reference engine and the predecoded
+    batch-dispatch engine, timing both, and compares the complete final
+    state -- registers, pc, retire count, memory digest, and the warm
+    bpred/cache capsules.  Predecode is primed outside the timed
+    region: it is a one-time, content-cached cost shared by every
+    engine over the program's lifetime.
+    """
+    from .branch.gshare import GsharePredictor
+    from .isa.interp import Interpreter
+    from .memory.cache import paper_hierarchy
+    from .workloads import suites
+
+    budget = limit if count is None else count
+    samples = []
+    for benchmark in benchmarks:
+        program = suites.build(benchmark, scale)
+        program.predecoded()
+        for warm in warm_modes:
+            reference = Interpreter(program)
+            r_bpred = GsharePredictor() if warm else None
+            r_hier = paper_hierarchy() if warm else None
+            start = time.perf_counter()
+            r_executed = reference.fast_forward_reference(
+                budget, r_bpred, r_hier)
+            reference_wall = time.perf_counter() - start
+
+            engine = Interpreter(program)
+            e_bpred = GsharePredictor() if warm else None
+            e_hier = paper_hierarchy() if warm else None
+            start = time.perf_counter()
+            e_executed = engine.fast_forward(budget, e_bpred, e_hier)
+            engine_wall = time.perf_counter() - start
+
+            bit_exact = (
+                e_executed == r_executed
+                and _fastforward_state(engine, e_bpred, e_hier)
+                == _fastforward_state(reference, r_bpred, r_hier))
+            samples.append(FastForwardSample(
+                benchmark, warm, e_executed,
+                reference_wall, engine_wall, bit_exact))
+    return FastForwardReport(samples, scale)
+
+
 def profile_suite(benchmarks: Sequence[str],
                   configs: Sequence[ProcessorConfig],
                   scale: int = 4000,

@@ -21,6 +21,7 @@ from repro.checkpoint import (
     ArchCheckpoint,
     CheckpointStore,
     capture_train,
+    ensure_train,
     select_checkpoints,
     train_key,
 )
@@ -255,6 +256,120 @@ class TestTrainAndStore:
         store.path("bad").parent.mkdir(parents=True, exist_ok=True)
         store.path("bad").write_text("{not json")
         assert store.load("bad") is None
+
+
+class TestStoreFaultInjection:
+    """A failed write never leaks a ``*.tmp.*`` file, whatever raised."""
+
+    @staticmethod
+    def _checkpoint(program):
+        interp = Interpreter(program)
+        return ArchCheckpoint.capture(interp, _base_image(program))
+
+    def test_unserializable_capsule_cleans_temp(self, tmp_path):
+        # Non-OSError mid-write: json.dumps raises TypeError on the
+        # capsule.  Historically this leaked the temp file.
+        program = suites.build("gzip", 2_000)
+        ckpt = self._checkpoint(program)
+        ckpt.warm = {"bpred": object()}
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(TypeError):
+            store.store("key", [ckpt], 100)
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        assert store.load("key") is None
+
+    def test_rename_failure_cleans_temp(self, tmp_path, monkeypatch):
+        import pathlib
+
+        program = suites.build("gzip", 2_000)
+        ckpt = self._checkpoint(program)
+        store = CheckpointStore(tmp_path)
+
+        def broken_replace(self, target):
+            raise RuntimeError("injected rename failure")
+
+        monkeypatch.setattr(pathlib.Path, "replace", broken_replace)
+        with pytest.raises(RuntimeError):
+            store.store("key", [ckpt], 100)
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+
+def _train_fingerprint(train):
+    import json
+
+    return (train["total_instructions"], train["complete"],
+            train["stride"],
+            [(c.retired, c.pc, tuple(c.regs), sorted(c.pages.items()),
+              json.dumps(c.warm, sort_keys=True))
+             for c in train["checkpoints"]])
+
+
+class TestEnsureTrain:
+    """Cross-scale checkpoint-train reuse: prefix serve + in-place
+    extension, never a recapture."""
+
+    @pytest.mark.parametrize("warm", [True, False])
+    def test_extension_bit_identical_to_fresh_capture(self, tmp_path,
+                                                      warm):
+        program = suites.build("gzip", 4_000)
+        grown = CheckpointStore(tmp_path / "grown")
+        fresh = CheckpointStore(tmp_path / "fresh")
+        short = ensure_train(program, 300, warm, horizon=1_000,
+                             store=grown)
+        assert not short["complete"]
+        assert short["total_instructions"] >= 1_000
+        extended = ensure_train(program, 300, warm, horizon=3_000,
+                                store=grown)
+        reference = ensure_train(program, 300, warm, horizon=3_000,
+                                 store=fresh)
+        assert _train_fingerprint(extended) == \
+            _train_fingerprint(reference)
+        # ... and extending to completion still matches a fresh full run
+        full = ensure_train(program, 300, warm, store=grown)
+        full_ref = ensure_train(program, 300, warm, store=fresh)
+        assert full["complete"]
+        assert _train_fingerprint(full) == _train_fingerprint(full_ref)
+
+    def test_longer_train_serves_shorter_horizon_without_rewrite(
+            self, tmp_path):
+        program = suites.build("gzip", 4_000)
+        store = CheckpointStore(tmp_path)
+        long_train = ensure_train(program, 300, True, horizon=3_000,
+                                  store=store)
+        key = train_key(program.digest(), 300, True)
+        mtime = store.path(key).stat().st_mtime_ns
+        short = ensure_train(program, 300, True, horizon=500,
+                             store=store)
+        assert _train_fingerprint(short) == \
+            _train_fingerprint(long_train)
+        assert store.path(key).stat().st_mtime_ns == mtime
+
+    def test_complete_train_serves_any_horizon(self, tmp_path):
+        program = suites.build("gzip", 2_000)
+        store = CheckpointStore(tmp_path)
+        full = ensure_train(program, 300, True, store=store)
+        assert full["complete"]
+        served = ensure_train(
+            program, 300, True,
+            horizon=full["total_instructions"] * 10, store=store)
+        assert _train_fingerprint(served) == _train_fingerprint(full)
+
+    def test_incomplete_train_positions_resumable(self, tmp_path):
+        # The invariant extension depends on: an incomplete train's
+        # total_instructions is exactly its last checkpoint's position.
+        program = suites.build("gzip", 4_000)
+        store = CheckpointStore(tmp_path)
+        train = ensure_train(program, 300, True, horizon=1_500,
+                             store=store)
+        assert not train["complete"]
+        assert train["checkpoints"][-1].retired == \
+            train["total_instructions"]
+
+    def test_without_store_captures_fresh(self):
+        program = suites.build("gzip", 2_000)
+        train = ensure_train(program, 300, True, horizon=900)
+        assert train["total_instructions"] >= 900
+        assert train["checkpoints"][0].retired == 0
 
 
 class TestWarmCapsules:

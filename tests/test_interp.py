@@ -236,3 +236,22 @@ class TestControlFlow:
         interp = Interpreter(a.build())
         interp.run()
         assert interp.step() is None
+
+    def test_halt_exactly_on_budget_boundary_returns_trace(self):
+        # A program whose halt is the max_instructions-th instruction
+        # must return its trace, not raise ExecutionLimitExceeded.
+        a = Assembler()
+        a.li("r1", 1)
+        a.li("r2", 2)
+        a.halt()
+        trace = run_program(a.build(), max_instructions=3)
+        assert len(trace) == 3
+        assert trace[-1].op == ops.HALT
+
+    def test_budget_one_short_of_halt_raises(self):
+        a = Assembler()
+        a.li("r1", 1)
+        a.li("r2", 2)
+        a.halt()
+        with pytest.raises(ExecutionLimitExceeded):
+            run_program(a.build(), max_instructions=2)

@@ -107,6 +107,59 @@ class TestSampledAccuracy:
         assert t95(200) == pytest.approx(1.96)
 
 
+class TestBoundaryAccounting:
+    """Interval accounting at halt/horizon boundaries: instructions past
+    the halt or the requested horizon never enter the IPC denominator
+    or the sampled-span bookkeeping."""
+
+    def test_degenerate_short_program_sampled_equals_exact(self):
+        # Program shorter than one window, zero warm-up: the single
+        # degenerate interval must reproduce exact-mode IPC *exactly* --
+        # any post-halt remainder in the denominator would break this.
+        config = baseline_sfc_mdt_config()
+        program = suites.build("gzip", 300)
+        sampled = sample_run(program, config, intervals=4,
+                             warmup_insts=0, interval_insts=100_000)
+        exact = _full_ipc("gzip", config, scale=300)
+        assert sampled.ipc_mean == exact
+        assert len(sampled.intervals) == 1
+        assert sampled.instructions == sampled.total_instructions
+
+    def test_halt_inside_window_excludes_post_halt_remainder(self):
+        # The warm-up+measure window extends past the halt: the measured
+        # span must end at the halt, not run the window length.
+        config = baseline_sfc_mdt_config()
+        program = suites.build("gzip", 300)
+        sampled = sample_run(program, config, intervals=2,
+                             warmup_insts=100, interval_insts=100_000)
+        total = sampled.total_instructions
+        for iv in sampled.intervals:
+            assert iv["position"] + 100 + iv["retired"] <= total
+            assert iv["ipc"] == iv["retired"] / iv["cycles"]
+
+    def test_horizon_clamps_span_and_eligibility(self):
+        config = baseline_sfc_mdt_config()
+        program = suites.build("gzip", 10_000)
+        window = 300 + 1_000
+        sampled = sample_run(program, config, intervals=4,
+                             warmup_insts=300, interval_insts=1_000,
+                             horizon=4_000)
+        assert sampled.total_instructions == 4_000
+        for iv in sampled.intervals:
+            assert iv["position"] + window <= 4_000
+
+    def test_horizon_past_halt_clamps_to_total(self):
+        config = baseline_sfc_mdt_config()
+        program = suites.build("gzip", 300)
+        sampled = sample_run(program, config, intervals=2,
+                             warmup_insts=0, interval_insts=1_000,
+                             horizon=50_000)
+        unscoped = sample_run(program, config, intervals=2,
+                              warmup_insts=0, interval_insts=1_000)
+        assert sampled.total_instructions == \
+            unscoped.total_instructions
+
+
 class TestRunnerIntegration:
     def test_run_sampled_record_shape(self, tmp_path):
         runner = ExperimentRunner(scale=10_000, cache_dir=tmp_path)
@@ -155,6 +208,44 @@ class TestRunnerIntegration:
                            warmup_insts=300, interval_insts=1_000)
         assert list((tmp_path / "checkpoints").glob("*.ckpt.json")) \
             == trains
+
+    def test_train_reused_across_horizons(self, tmp_path):
+        """A train captured for one horizon is prefix-served or extended
+        in place for other horizons -- never recaptured into a second
+        file, and never rewritten for a shorter request."""
+        runner = ExperimentRunner(scale=30_000, cache_dir=tmp_path)
+        config = baseline_sfc_mdt_config()
+        runner.run_sampled("gzip", config, intervals=3,
+                           warmup_insts=300, interval_insts=1_000,
+                           horizon=5_000)
+        trains = list((tmp_path / "checkpoints").glob("*.ckpt.json"))
+        assert len(trains) == 1
+        # Longer horizon: extended in place, still one file.
+        runner.run_sampled("gzip", config, intervals=3,
+                           warmup_insts=300, interval_insts=1_000,
+                           horizon=20_000)
+        assert list((tmp_path / "checkpoints").glob("*.ckpt.json")) \
+            == trains
+        mtime = trains[0].stat().st_mtime_ns
+        # Shorter horizon again: served as a prefix, no rewrite.
+        runner.run_sampled("gzip", config, intervals=2,
+                           warmup_insts=300, interval_insts=1_000,
+                           horizon=3_000)
+        assert trains[0].stat().st_mtime_ns == mtime
+
+    def test_horizon_cells_cache_separately(self, tmp_path):
+        runner = ExperimentRunner(scale=10_000, cache_dir=tmp_path)
+        config = baseline_sfc_mdt_config()
+        plain = runner.run_sampled("gzip", config, intervals=3,
+                                   warmup_insts=300,
+                                   interval_insts=1_000)
+        scoped = runner.run_sampled("gzip", config, intervals=3,
+                                    warmup_insts=300,
+                                    interval_insts=1_000, horizon=4_000)
+        plain_entry, scoped_entry = runner.manifest[-2:]
+        assert plain_entry["key"] != scoped_entry["key"]
+        assert scoped.sampling["total_instructions"] == 4_000
+        assert plain.sampling["total_instructions"] > 4_000
 
     def test_exact_cache_key_unchanged_by_sampling_param(self):
         config = baseline_sfc_mdt_config()
